@@ -1,0 +1,279 @@
+// Benchmark harness: one benchmark per paper table and figure, plus the
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// regenerates its artefact end to end at a reduced-but-faithful scale (the
+// full 646-AS / 340-probe scale is a multi-minute batch job; run it via
+// cmd/lmexp). Use:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig5 -benchtime 3x
+package lastmile_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/last-mile-congestion/lastmile/internal/experiments"
+)
+
+// benchOpts is the reduced scale shared by all benches.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seed:              2020,
+		WorldASes:         100,
+		FleetSize:         48,
+		CDNClients:        150,
+		TraceroutesPerBin: 4,
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1: weekly aggregated queuing delay for
+// ISP_DE and ISP_US across the seven measurement periods.
+func BenchmarkFig1(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: the Welch periodograms of the
+// Figure 1 signals.
+func BenchmarkFig2(b *testing.B) {
+	o := benchOpts()
+	f1, err := experiments.Fig1(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2From(f1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSurveySet runs the seven surveys once for the survey-derived
+// benches.
+func benchSurveySet(b *testing.B) *experiments.SurveySet {
+	b.Helper()
+	set, err := experiments.RunSurveys(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkSurveys measures the end-to-end survey pipeline itself: the
+// world's ASes measured and classified for all seven periods.
+func BenchmarkSurveys(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSurveys(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: the prominent-frequency and
+// daily-amplitude distributions across monitored ASes.
+func BenchmarkFig3(b *testing.B) {
+	set := benchSurveySet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig3From(set).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: the classification breakdown by
+// APNIC rank bucket, September 2019 vs April 2020.
+func BenchmarkFig4(b *testing.B) {
+	set := benchSurveySet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig4From(set).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the §3 headline table (reported counts,
+// churn, COVID growth, geography).
+func BenchmarkHeadline(b *testing.B) {
+	set := benchSurveySet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.HeadlineFrom(set).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTokyoSet runs the Tokyo case study once for the Tokyo-derived
+// benches.
+func benchTokyoSet(b *testing.B) *experiments.TokyoSet {
+	b.Helper()
+	ts, err := experiments.RunTokyo(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// BenchmarkTokyo measures the end-to-end §4 case study: delays for 21
+// probes plus CDN log generation and throughput estimation for six
+// service arms.
+func BenchmarkTokyo(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTokyo(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: Tokyo aggregated last-mile delays.
+func BenchmarkFig5(b *testing.B) {
+	ts := benchTokyoSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig5From(ts).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: Tokyo CDN throughput, broadband vs
+// mobile.
+func BenchmarkFig6(b *testing.B) {
+	ts := benchTokyoSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig6From(ts).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: the delay/throughput Spearman
+// correlations.
+func BenchmarkFig7(b *testing.B) {
+	ts := benchTokyoSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig7From(ts).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (Appendix B): ISP_D probes vs
+// anchor.
+func BenchmarkFig8(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (Appendix C): IPv4 vs IPv6
+// throughput.
+func BenchmarkFig9(b *testing.B) {
+	ts := benchTokyoSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig9From(ts).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md §5 calls out.
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAggregation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBinWidth(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBinWidth(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWelch(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWelch(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEstimator(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEstimator(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDiscard(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDiscard(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationThresholds(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationThresholds(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command atlasgen generates a synthetic RIPE Atlas traceroute dataset
+// (newline-delimited Atlas-format JSON) for the Tokyo case-study world,
+// runnable through cmd/lmsurvey or any Atlas-compatible tooling.
+//
+// Usage:
+//
+//	atlasgen -isp A -days 2 -out ispa.jsonl
+//	atlasgen -isp C -probes 4 | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/last-mile-congestion/lastmile/internal/atlas"
+	"github.com/last-mile-congestion/lastmile/internal/scenario"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+func main() {
+	var (
+		ispName = flag.String("isp", "A", "Tokyo ISP to generate for: A, B, C or D")
+		days    = flag.Int("days", 1, "number of days of traceroutes (starting Sep 19 2019)")
+		probes  = flag.Int("probes", 0, "limit the probe count (0 = the ISP's full fleet)")
+		seed    = flag.Uint64("seed", 2020, "simulation seed")
+		out     = flag.String("out", "-", "output file (- for stdout)")
+		meta    = flag.String("meta", "", "also write probe metadata (Atlas probe-archive JSON) to this file")
+	)
+	flag.Parse()
+	if err := run(*ispName, *days, *probes, *seed, *out, *meta); err != nil {
+		fmt.Fprintln(os.Stderr, "atlasgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ispName string, days, probeLimit int, seed uint64, out, metaOut string) error {
+	tk, err := scenario.BuildTokyo(seed, 10)
+	if err != nil {
+		return err
+	}
+	var ti *scenario.TokyoISP
+	switch strings.ToUpper(ispName) {
+	case "A":
+		ti = tk.ISPA
+	case "B":
+		ti = tk.ISPB
+	case "C":
+		ti = tk.ISPC
+	case "D":
+		ti = tk.ISPD
+	default:
+		return fmt.Errorf("unknown ISP %q (want A, B, C or D)", ispName)
+	}
+	if days < 1 {
+		return fmt.Errorf("days must be >= 1")
+	}
+	probes := ti.Probes
+	if probeLimit > 0 && probeLimit < len(probes) {
+		probes = probes[:probeLimit]
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tw := traceroute.NewWriter(w)
+
+	period := scenario.TokyoPeriod()
+	start := period.Start
+	end := start.AddDate(0, 0, days)
+	engine := atlas.NewEngine(seed)
+	total := 0
+	for _, p := range probes {
+		if err := engine.Run(p, start, end, func(r *traceroute.Result) error {
+			total++
+			return tw.Write(r)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if metaOut != "" {
+		if err := writeMetadata(metaOut, probes); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "atlasgen: wrote %d traceroutes for ISP_%s (%d probes, %d day(s))\n",
+		total, strings.ToUpper(ispName), len(probes), days)
+	return nil
+}
+
+// writeMetadata emits the probes' metadata in Atlas probe-archive form so
+// lmsurvey can group results by AS without a RIB.
+func writeMetadata(path string, probes []*atlas.Probe) error {
+	infos := make([]atlas.ProbeInfo, 0, len(probes))
+	for _, p := range probes {
+		infos = append(infos, atlas.ProbeInfo{
+			ID:          p.ID,
+			ASNv4:       p.ASN,
+			CountryCode: p.CC,
+			City:        p.City,
+			IsAnchor:    p.IsAnchor,
+			Version:     p.Version,
+			Status:      "Connected",
+		})
+	}
+	registry, err := atlas.NewRegistry(infos)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return registry.WriteRegistry(f)
+}

@@ -1,0 +1,97 @@
+// Command cdngen generates synthetic CDN access logs (CSV) for the Tokyo
+// case-study world, runnable through the public throughput estimator.
+//
+// Usage:
+//
+//	cdngen -isp A -clients 500 -days 2 -out ispa.csv
+//	cdngen -isp C -mobile | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	"github.com/last-mile-congestion/lastmile/internal/scenario"
+)
+
+func main() {
+	var (
+		ispName = flag.String("isp", "A", "Tokyo ISP to generate for: A, B or C")
+		mobile  = flag.Bool("mobile", false, "generate the ISP's mobile arm instead of broadband")
+		clients = flag.Int("clients", 500, "client population")
+		days    = flag.Int("days", 1, "days of logs (starting Sep 19 2019)")
+		seed    = flag.Uint64("seed", 2020, "simulation seed")
+		out     = flag.String("out", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*ispName, *mobile, *clients, *days, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cdngen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ispName string, mobile bool, clients, days int, seed uint64, out string) error {
+	tk, err := scenario.BuildTokyo(seed, clients)
+	if err != nil {
+		return err
+	}
+	var ti *scenario.TokyoISP
+	switch strings.ToUpper(ispName) + map[bool]string{true: "m", false: ""}[mobile] {
+	case "A":
+		ti = tk.ISPA
+	case "B":
+		ti = tk.ISPB
+	case "C":
+		ti = tk.ISPC
+	case "Am":
+		ti = tk.ISPAMobile
+	case "Bm":
+		ti = tk.ISPBMobile
+	case "Cm":
+		ti = tk.ISPCMobile
+	default:
+		return fmt.Errorf("unknown ISP %q (want A, B or C)", ispName)
+	}
+	if days < 1 {
+		return fmt.Errorf("days must be >= 1")
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := cdn.NewWriter(w)
+
+	gen := &cdn.Generator{
+		Network:                 ti.Network,
+		Devices:                 ti.Devices,
+		Clients:                 clients,
+		RequestsPerClientPerDay: 40,
+		DualStackFrac:           0.6,
+		Seed:                    seed,
+	}
+	start := scenario.TokyoPeriod().Start
+	total := 0
+	err = gen.Generate(start, start.AddDate(0, 0, days), func(e cdn.LogEntry) error {
+		total++
+		return cw.Write(&e)
+	})
+	if err != nil {
+		return err
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cdngen: wrote %d log entries for %s (%d clients, %d day(s))\n",
+		total, ti.Network.Name, clients, days)
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command lmmonitor runs the streaming (online) variant of the pipeline:
+// it consumes newline-delimited Atlas traceroute JSON from a file or
+// stdin, maintains a sliding window per AS, and prints a live
+// classification table at a configurable cadence of stream time — the
+// operational mode of a continuously-running last-mile monitor.
+//
+// Usage:
+//
+//	atlasgen -isp A -days 8 | lmmonitor -every 48h
+//	lmmonitor -in traces.jsonl -rib rib.txt -window 120h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	lastmile "github.com/last-mile-congestion/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/report"
+	"github.com/last-mile-congestion/lastmile/internal/stream"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
+		ribIn  = flag.String("rib", "", "optional RIB file for probe->AS mapping")
+		window = flag.Duration("window", 15*24*time.Hour, "sliding analysis window")
+		every  = flag.Duration("every", 24*time.Hour, "stream-time interval between classification reports")
+		sortIn = flag.Bool("sort", true, "sort input by timestamp before feeding the monitor (file dumps are grouped by measurement, not time; disable for genuinely ordered streams)")
+	)
+	flag.Parse()
+	if err := run(*in, *ribIn, *window, *every, *sortIn); err != nil {
+		fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rib *lastmile.RIB
+	if ribIn != "" {
+		f, err := os.Open(ribIn)
+		if err != nil {
+			return err
+		}
+		parsed, err := lastmile.ParseRIB(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rib = parsed
+	}
+
+	monitor := stream.NewMonitor(stream.Options{Window: window})
+	feed := func(res *lastmile.Result) error {
+		asn := lastmile.ASN(0)
+		if rib != nil && res.FromAddr.IsValid() {
+			if origin, err := rib.OriginOf(res.FromAddr); err == nil {
+				asn = origin
+			}
+		}
+		return monitor.Observe(asn, res)
+	}
+
+	var nextReport time.Time
+	process := func(res *lastmile.Result) error {
+		if err := feed(res); err != nil {
+			return err
+		}
+		if nextReport.IsZero() {
+			nextReport = res.Timestamp.Add(every)
+			return nil
+		}
+		if !res.Timestamp.Before(nextReport) {
+			if err := printVerdicts(monitor, res.Timestamp); err != nil {
+				return err
+			}
+			nextReport = res.Timestamp.Add(every)
+		}
+		return nil
+	}
+
+	sc := lastmile.NewResultScanner(r)
+	if sortIn {
+		var buffered []*lastmile.Result
+		for sc.Scan() {
+			buffered = append(buffered, sc.Result())
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		sort.SliceStable(buffered, func(i, j int) bool {
+			return buffered[i].Timestamp.Before(buffered[j].Timestamp)
+		})
+		for _, res := range buffered {
+			if err := process(res); err != nil {
+				return err
+			}
+		}
+	} else {
+		for sc.Scan() {
+			if err := process(sc.Result()); err != nil {
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	ingested, dropped := monitor.Stats()
+	fmt.Printf("\nend of stream (%d ingested, %d dropped as too late); final state:\n", ingested, dropped)
+	return printVerdicts(monitor, time.Time{})
+}
+
+func printVerdicts(m *stream.Monitor, at time.Time) error {
+	if !at.IsZero() {
+		fmt.Printf("\n== %s ==\n", at.UTC().Format(time.RFC3339))
+	}
+	verdicts := m.ClassifyAll()
+	if len(verdicts) == 0 {
+		fmt.Println("(no classifiable AS yet — windows warming up)")
+		return nil
+	}
+	tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "window signal")
+	for _, v := range verdicts {
+		tb.AddRowf(v.ASN.String(), v.Probes, v.Class.String(),
+			fmt.Sprintf("%.2f", v.DailyAmplitude),
+			report.Sparkline(report.Downsample(v.Signal.Values, 48), 0))
+	}
+	return tb.Render(os.Stdout)
+}

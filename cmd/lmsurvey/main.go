@@ -1,0 +1,201 @@
+// Command lmsurvey runs the paper's last-mile congestion pipeline over a
+// traceroute dataset: per-probe last-mile estimation, 30-minute median
+// binning, population aggregation, and Welch-based classification.
+//
+// It reads newline-delimited RIPE Atlas traceroute JSON — either genuine
+// Atlas API output or cmd/atlasgen's synthetic data — groups probes by
+// origin AS (via an optional RIB for longest-prefix match, else by the
+// probe's source), and classifies every AS.
+//
+// Usage:
+//
+//	atlasgen -isp A -days 8 | lmsurvey
+//	lmsurvey -in traces.jsonl -rib rib.txt -csv signals/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	lastmile "github.com/last-mile-congestion/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/report"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
+		ribIn    = flag.String("rib", "", "optional RIB file ('prefix origin' lines) for probe->AS mapping")
+		probesIn = flag.String("probes", "", "optional probe metadata file (Atlas probe-archive JSON) for probe->AS mapping and anchor exclusion")
+		csvDir   = flag.String("csv", "", "optional directory for per-AS signal CSV dumps")
+	)
+	flag.Parse()
+	if err := run(*in, *ribIn, *probesIn, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "lmsurvey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, ribIn, probesIn, csvDir string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rib *lastmile.RIB
+	if ribIn != "" {
+		f, err := os.Open(ribIn)
+		if err != nil {
+			return err
+		}
+		parsed, err := lastmile.ParseRIB(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rib = parsed
+	}
+	var registry *lastmile.ProbeRegistry
+	if probesIn != "" {
+		f, err := os.Open(probesIn)
+		if err != nil {
+			return err
+		}
+		parsed, err := lastmile.ParseProbeRegistry(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		registry = parsed
+	}
+
+	// Pass 1 is avoided: results are buffered per probe, and the
+	// accumulator range is derived from observed timestamps.
+	type probeData struct {
+		asn     lastmile.ASN
+		results []*lastmile.Result
+	}
+	probes := map[int]*probeData{}
+	var tMin, tMax time.Time
+	sc := lastmile.NewResultScanner(r)
+	total, anchorsSkipped := 0, 0
+	for sc.Scan() {
+		res := sc.Result()
+		total++
+		// Probe metadata, when given, drives AS attribution and the §2
+		// anchor exclusion; a RIB longest-prefix match is the fallback.
+		var meta *lastmile.ProbeInfo
+		if registry != nil {
+			if info, ok := registry.ByID(res.ProbeID); ok {
+				if info.IsAnchor {
+					anchorsSkipped++
+					continue
+				}
+				meta = info
+			}
+		}
+		pd := probes[res.ProbeID]
+		if pd == nil {
+			pd = &probeData{}
+			switch {
+			case meta != nil && meta.ASNv4 != 0:
+				pd.asn = meta.ASNv4
+			case rib != nil && res.FromAddr.IsValid():
+				if asn, err := rib.OriginOf(res.FromAddr); err == nil {
+					pd.asn = asn
+				}
+			}
+			probes[res.ProbeID] = pd
+		}
+		pd.results = append(pd.results, res)
+		if tMin.IsZero() || res.Timestamp.Before(tMin) {
+			tMin = res.Timestamp
+		}
+		if res.Timestamp.After(tMax) {
+			tMax = res.Timestamp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("no traceroutes in input")
+	}
+	start := tMin.Truncate(lastmile.DefaultBinWidth)
+	end := tMax.Add(lastmile.DefaultBinWidth).Truncate(lastmile.DefaultBinWidth)
+
+	// Group probes by AS and run the pipeline per AS.
+	byAS := map[lastmile.ASN][]*probeData{}
+	for _, pd := range probes {
+		byAS[pd.asn] = append(byAS[pd.asn], pd)
+	}
+	fmt.Printf("lmsurvey: %d traceroutes, %d probes, %d AS group(s), %s .. %s",
+		total, len(probes), len(byAS), start.Format(time.RFC3339), end.Format(time.RFC3339))
+	if anchorsSkipped > 0 {
+		fmt.Printf(" (%d anchor traceroutes excluded)", anchorsSkipped)
+	}
+	fmt.Print("\n\n")
+
+	tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "peak freq (c/h)", "signal")
+	asns := make([]lastmile.ASN, 0, len(byAS))
+	for asn := range byAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		group := byAS[asn]
+		var accs []*lastmile.ProbeAccumulator
+		for _, pd := range group {
+			acc, err := lastmile.NewProbeAccumulator(pd.results[0].ProbeID, start, end, lastmile.DefaultBinWidth)
+			if err != nil {
+				return err
+			}
+			for _, res := range pd.results {
+				if err := acc.Add(res); err != nil {
+					return err
+				}
+			}
+			accs = append(accs, acc)
+		}
+		signal, n, err := lastmile.PopulationDelay(accs, lastmile.DefaultMinTraceroutes)
+		if err != nil {
+			tb.AddRowf(asn.String(), len(group), "(no usable data)", "-", "-", "")
+			continue
+		}
+		cls, err := lastmile.Classify(signal, lastmile.DefaultClassifierOptions())
+		if err != nil {
+			tb.AddRowf(asn.String(), n, fmt.Sprintf("(unclassifiable: %v)", err), "-", "-", "")
+			continue
+		}
+		tb.AddRowf(asn.String(), n, cls.Class.String(),
+			fmt.Sprintf("%.2f", cls.DailyAmplitude),
+			fmt.Sprintf("%.3f", cls.Peak.Freq),
+			report.Sparkline(report.Downsample(signal.Values, 48), 0))
+		if csvDir != "" {
+			if err := dumpCSV(csvDir, asn, signal); err != nil {
+				return err
+			}
+		}
+	}
+	return tb.Render(os.Stdout)
+}
+
+func dumpCSV(dir string, asn lastmile.ASN, signal *lastmile.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.csv", asn)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteSeriesCSV(f, "agg_queuing_delay_ms", signal)
+}

@@ -1,0 +1,96 @@
+// Analyse an Atlas traceroute file: the downstream-user workflow.
+//
+// Feed any newline-delimited RIPE Atlas traceroute JSON — downloaded from
+// the Atlas API, or generated with cmd/atlasgen — and get per-probe
+// last-mile statistics plus an AS-level congestion verdict, using only
+// the public API.
+//
+//	go run ./cmd/atlasgen -isp A -days 8 -out /tmp/ispa.jsonl
+//	go run ./examples/atlasfile /tmp/ispa.jsonl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	lastmile "github.com/last-mile-congestion/lastmile"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s <traceroutes.jsonl>\n", os.Args[0])
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Pass 1: buffer per probe, find the time extent.
+	byProbe := map[int][]*lastmile.Result{}
+	var tMin, tMax time.Time
+	noSegment := 0
+	sc := lastmile.NewResultScanner(f)
+	for sc.Scan() {
+		r := sc.Result()
+		if _, ok := lastmile.FindSegment(r); !ok {
+			noSegment++
+		}
+		byProbe[r.ProbeID] = append(byProbe[r.ProbeID], r)
+		if tMin.IsZero() || r.Timestamp.Before(tMin) {
+			tMin = r.Timestamp
+		}
+		if r.Timestamp.After(tMax) {
+			tMax = r.Timestamp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(byProbe) == 0 {
+		log.Fatal("no traceroutes found")
+	}
+	start := tMin.Truncate(lastmile.DefaultBinWidth)
+	end := tMax.Add(lastmile.DefaultBinWidth).Truncate(lastmile.DefaultBinWidth)
+	fmt.Printf("%d probes, %s .. %s, %d traceroutes without a last-mile segment\n\n",
+		len(byProbe), start.Format("2006-01-02 15:04"), end.Format("2006-01-02 15:04"), noSegment)
+
+	// Pass 2: per-probe accumulation.
+	var probeIDs []int
+	for id := range byProbe {
+		probeIDs = append(probeIDs, id)
+	}
+	sort.Ints(probeIDs)
+	var accs []*lastmile.ProbeAccumulator
+	for _, id := range probeIDs {
+		acc, err := lastmile.NewProbeAccumulator(id, start, end, lastmile.DefaultBinWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range byProbe[id] {
+			if err := acc.Add(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		accs = append(accs, acc)
+		med := acc.MedianRTT(lastmile.DefaultMinTraceroutes)
+		fmt.Printf("probe %-7d traceroutes=%-5d usable-bins=%d\n",
+			id, acc.Traceroutes, med.Len()-med.GapCount())
+	}
+
+	// Aggregate and classify.
+	signal, n, err := lastmile.PopulationDelay(accs, lastmile.DefaultMinTraceroutes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, err := lastmile.Classify(signal, lastmile.DefaultClassifierOptions())
+	if err != nil {
+		log.Fatalf("classify: %v (short captures cannot resolve the daily cycle; use >= 4 days)", err)
+	}
+	fmt.Printf("\npopulation: %d probes -> class %v, daily amplitude %.2f ms, prominent %.4f c/h (daily=%v)\n",
+		n, verdict.Class, verdict.DailyAmplitude, verdict.Peak.Freq, verdict.IsDaily)
+}

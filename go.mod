@@ -1,0 +1,3 @@
+module github.com/last-mile-congestion/lastmile
+
+go 1.22

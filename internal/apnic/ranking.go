@@ -1,0 +1,208 @@
+// Package apnic models the APNIC "Visible ASNs: Customer Populations"
+// eyeball estimates the paper uses to put its classification results in
+// perspective (Fig. 4): per-AS estimated user populations, a global rank,
+// the paper's five rank buckets, and country codes for the geographical
+// breakdown.
+package apnic
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+)
+
+// Estimate is one AS's eyeball population estimate.
+type Estimate struct {
+	ASN bgp.ASN
+	// CC is the ISO 3166-1 alpha-2 country code the AS is attributed to.
+	CC string
+	// Users is the estimated number of Internet users behind the AS.
+	Users int64
+}
+
+// Ranking is an ordered set of eyeball estimates. Ranks are 1-based and
+// assigned by descending user count.
+type Ranking struct {
+	byASN  map[bgp.ASN]int // index into sorted
+	sorted []Estimate
+}
+
+// NewRanking builds a ranking from estimates. Duplicate ASNs are an
+// error.
+func NewRanking(estimates []Estimate) (*Ranking, error) {
+	sorted := make([]Estimate, len(estimates))
+	copy(sorted, estimates)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Users != sorted[j].Users {
+			return sorted[i].Users > sorted[j].Users
+		}
+		return sorted[i].ASN < sorted[j].ASN
+	})
+	byASN := make(map[bgp.ASN]int, len(sorted))
+	for i, e := range sorted {
+		if _, dup := byASN[e.ASN]; dup {
+			return nil, fmt.Errorf("apnic: duplicate estimate for %v", e.ASN)
+		}
+		byASN[e.ASN] = i
+	}
+	return &Ranking{byASN: byASN, sorted: sorted}, nil
+}
+
+// Rank returns the 1-based global rank of asn by user population.
+func (r *Ranking) Rank(asn bgp.ASN) (int, bool) {
+	i, ok := r.byASN[asn]
+	if !ok {
+		return 0, false
+	}
+	return i + 1, true
+}
+
+// Users returns the estimated user population of asn.
+func (r *Ranking) Users(asn bgp.ASN) (int64, bool) {
+	i, ok := r.byASN[asn]
+	if !ok {
+		return 0, false
+	}
+	return r.sorted[i].Users, true
+}
+
+// Country returns the country code of asn.
+func (r *Ranking) Country(asn bgp.ASN) (string, bool) {
+	i, ok := r.byASN[asn]
+	if !ok {
+		return "", false
+	}
+	return r.sorted[i].CC, true
+}
+
+// Len returns the number of ranked ASes.
+func (r *Ranking) Len() int { return len(r.sorted) }
+
+// Top returns the n highest-ranked estimates (fewer if the ranking is
+// smaller).
+func (r *Ranking) Top(n int) []Estimate {
+	if n > len(r.sorted) {
+		n = len(r.sorted)
+	}
+	out := make([]Estimate, n)
+	copy(out, r.sorted[:n])
+	return out
+}
+
+// TopByCountry returns the n highest-ranked estimates attributed to cc.
+func (r *Ranking) TopByCountry(cc string, n int) []Estimate {
+	var out []Estimate
+	for _, e := range r.sorted {
+		if e.CC == cc {
+			out = append(out, e)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RankBucket is one of the paper's Fig. 4 x-axis buckets.
+type RankBucket int
+
+// The five buckets of Fig. 4.
+const (
+	Bucket1to10 RankBucket = iota
+	Bucket11to100
+	Bucket101to1k
+	Bucket1kto10k
+	BucketOver10k
+	// NumBuckets is the bucket count, for sizing arrays indexed by
+	// RankBucket.
+	NumBuckets
+)
+
+// BucketOf maps a 1-based rank to its bucket. Ranks < 1 are treated as
+// unranked and fall in the last bucket.
+func BucketOf(rank int) RankBucket {
+	switch {
+	case rank >= 1 && rank <= 10:
+		return Bucket1to10
+	case rank >= 11 && rank <= 100:
+		return Bucket11to100
+	case rank >= 101 && rank <= 1000:
+		return Bucket101to1k
+	case rank >= 1001 && rank <= 10000:
+		return Bucket1kto10k
+	default:
+		return BucketOver10k
+	}
+}
+
+// String returns the Fig. 4 axis label of the bucket.
+func (b RankBucket) String() string {
+	switch b {
+	case Bucket1to10:
+		return "1 to 10"
+	case Bucket11to100:
+		return "11 to 100"
+	case Bucket101to1k:
+		return "101 to 1k"
+	case Bucket1kto10k:
+		return "1k to 10k"
+	case BucketOver10k:
+		return "more than 10k"
+	default:
+		return "unknown"
+	}
+}
+
+// WriteTo writes the ranking as "asn cc users" lines in rank order.
+func (r *Ranking) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range r.sorted {
+		n, err := fmt.Fprintf(w, "%d %s %d\n", uint32(e.ASN), e.CC, e.Users)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ParseRanking reads "asn cc users" lines (comments with '#' and blank
+// lines skipped) and builds a Ranking.
+func ParseRanking(r io.Reader) (*Ranking, error) {
+	var estimates []Estimate
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("apnic: line %d: want 'asn cc users'", lineNo)
+		}
+		asn, err := strconv.ParseUint(strings.TrimPrefix(fields[0], "AS"), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("apnic: line %d: bad asn %q", lineNo, fields[0])
+		}
+		users, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || users < 0 {
+			return nil, fmt.Errorf("apnic: line %d: bad user count %q", lineNo, fields[2])
+		}
+		estimates = append(estimates, Estimate{ASN: bgp.ASN(asn), CC: fields[1], Users: users})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(estimates) == 0 {
+		return nil, errors.New("apnic: empty ranking")
+	}
+	return NewRanking(estimates)
+}

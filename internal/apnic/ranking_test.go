@@ -1,0 +1,181 @@
+package apnic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+)
+
+func testEstimates() []Estimate {
+	return []Estimate{
+		{ASN: 100, CC: "JP", Users: 5_000_000},
+		{ASN: 200, CC: "US", Users: 20_000_000},
+		{ASN: 300, CC: "DE", Users: 1_000_000},
+		{ASN: 400, CC: "JP", Users: 8_000_000},
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	r, err := NewRanking(testEstimates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		asn  bgp.ASN
+		rank int
+	}{
+		{200, 1}, {400, 2}, {100, 3}, {300, 4},
+	}
+	for _, c := range cases {
+		got, ok := r.Rank(c.asn)
+		if !ok || got != c.rank {
+			t.Errorf("Rank(%v) = %d, %v; want %d", c.asn, got, ok, c.rank)
+		}
+	}
+	if _, ok := r.Rank(999); ok {
+		t.Error("unknown ASN should not be ranked")
+	}
+}
+
+func TestRankTieBreak(t *testing.T) {
+	r, err := NewRanking([]Estimate{
+		{ASN: 7, CC: "JP", Users: 100},
+		{ASN: 3, CC: "JP", Users: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal users: lower ASN ranks first, deterministically.
+	r3, _ := r.Rank(3)
+	r7, _ := r.Rank(7)
+	if r3 != 1 || r7 != 2 {
+		t.Fatalf("ranks = %d, %d", r3, r7)
+	}
+}
+
+func TestUsersAndCountry(t *testing.T) {
+	r, _ := NewRanking(testEstimates())
+	u, ok := r.Users(400)
+	if !ok || u != 8_000_000 {
+		t.Fatalf("users = %d, %v", u, ok)
+	}
+	cc, ok := r.Country(300)
+	if !ok || cc != "DE" {
+		t.Fatalf("cc = %q, %v", cc, ok)
+	}
+	if _, ok := r.Users(999); ok {
+		t.Fatal("unknown ASN")
+	}
+	if _, ok := r.Country(999); ok {
+		t.Fatal("unknown ASN")
+	}
+}
+
+func TestDuplicateASN(t *testing.T) {
+	if _, err := NewRanking([]Estimate{{ASN: 1, Users: 5}, {ASN: 1, Users: 9}}); err == nil {
+		t.Fatal("want error for duplicate ASN")
+	}
+}
+
+func TestTop(t *testing.T) {
+	r, _ := NewRanking(testEstimates())
+	top := r.Top(2)
+	if len(top) != 2 || top[0].ASN != 200 || top[1].ASN != 400 {
+		t.Fatalf("top = %+v", top)
+	}
+	if len(r.Top(100)) != 4 {
+		t.Fatal("Top should clamp to length")
+	}
+}
+
+func TestTopByCountry(t *testing.T) {
+	r, _ := NewRanking(testEstimates())
+	jp := r.TopByCountry("JP", 10)
+	if len(jp) != 2 || jp[0].ASN != 400 || jp[1].ASN != 100 {
+		t.Fatalf("jp = %+v", jp)
+	}
+	if got := r.TopByCountry("JP", 1); len(got) != 1 {
+		t.Fatalf("limited = %+v", got)
+	}
+	if got := r.TopByCountry("FR", 5); len(got) != 0 {
+		t.Fatalf("unknown country = %+v", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		rank int
+		want RankBucket
+	}{
+		{1, Bucket1to10}, {10, Bucket1to10},
+		{11, Bucket11to100}, {100, Bucket11to100},
+		{101, Bucket101to1k}, {1000, Bucket101to1k},
+		{1001, Bucket1kto10k}, {10000, Bucket1kto10k},
+		{10001, BucketOver10k}, {0, BucketOver10k}, {-5, BucketOver10k},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.rank); got != c.want {
+			t.Errorf("BucketOf(%d) = %v, want %v", c.rank, got, c.want)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	want := []string{"1 to 10", "11 to 100", "101 to 1k", "1k to 10k", "more than 10k"}
+	for b := Bucket1to10; b < NumBuckets; b++ {
+		if b.String() != want[b] {
+			t.Errorf("bucket %d = %q, want %q", b, b.String(), want[b])
+		}
+	}
+	if RankBucket(99).String() != "unknown" {
+		t.Error("out-of-range bucket should be unknown")
+	}
+}
+
+func TestRankingRoundTrip(t *testing.T) {
+	r, _ := NewRanking(testEstimates())
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseRanking(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != 4 {
+		t.Fatalf("len = %d", parsed.Len())
+	}
+	rank, _ := parsed.Rank(200)
+	if rank != 1 {
+		t.Fatalf("rank = %d", rank)
+	}
+}
+
+func TestParseRankingErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1 JP",             // missing users
+		"x JP 100",         // bad asn
+		"1 JP many",        // bad users
+		"1 JP -5",          // negative users
+		"1 JP 100 extra f", // too many fields
+	}
+	for _, input := range cases {
+		if _, err := ParseRanking(strings.NewReader(input)); err == nil {
+			t.Errorf("input %q: want error", input)
+		}
+	}
+}
+
+func TestParseRankingComments(t *testing.T) {
+	input := "# eyeballs\n\nAS100 JP 500\n200 US 900\n"
+	r, err := ParseRanking(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

@@ -1,0 +1,249 @@
+package atlas
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+)
+
+// Probe metadata registry. The paper's probe selection runs on Atlas
+// probe metadata, not on traceroutes: anchors are excluded (§2), probes
+// are grouped by ASN (§3), and the Tokyo study selects by ASN + city
+// (§4). ProbeInfo mirrors the fields of the Atlas probe-archive JSON
+// (https://atlas.ripe.net/api/v2/probes/) that those selections need, and
+// Registry provides the selections.
+
+// ProbeInfo is one probe's metadata record.
+type ProbeInfo struct {
+	// ID is the Atlas probe identifier.
+	ID int `json:"id"`
+	// ASNv4 is the IPv4 origin AS (0 when unknown).
+	ASNv4 bgp.ASN `json:"asn_v4"`
+	// ASNv6 is the IPv6 origin AS (0 when unknown).
+	ASNv6 bgp.ASN `json:"asn_v6,omitempty"`
+	// CountryCode is the ISO 3166-1 alpha-2 country.
+	CountryCode string `json:"country_code"`
+	// City is free-form locality metadata (Atlas carries it in tags or
+	// user fields; the simulator emits it directly).
+	City string `json:"city,omitempty"`
+	// IsAnchor marks datacenter anchors.
+	IsAnchor bool `json:"is_anchor"`
+	// Version is the hardware version (1-5).
+	Version int `json:"version,omitempty"`
+	// Status is the probe state; "Connected" means live.
+	Status string `json:"status,omitempty"`
+	// Tags carry Atlas's user/system tags (e.g. "system-v3", "home").
+	Tags []string `json:"tags,omitempty"`
+}
+
+// Connected reports whether the probe is live (an empty status is
+// treated as connected, for minimal records).
+func (p *ProbeInfo) Connected() bool {
+	return p.Status == "" || strings.EqualFold(p.Status, "connected")
+}
+
+// HasTag reports whether the probe carries the tag.
+func (p *ProbeInfo) HasTag(tag string) bool {
+	for _, t := range p.Tags {
+		if strings.EqualFold(t, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry indexes probe metadata for the paper's selections.
+type Registry struct {
+	byID  map[int]*ProbeInfo
+	byASN map[bgp.ASN][]*ProbeInfo
+}
+
+// NewRegistry indexes the given records. Duplicate IDs are an error.
+func NewRegistry(infos []ProbeInfo) (*Registry, error) {
+	r := &Registry{
+		byID:  make(map[int]*ProbeInfo, len(infos)),
+		byASN: make(map[bgp.ASN][]*ProbeInfo),
+	}
+	for i := range infos {
+		info := &infos[i]
+		if info.ID == 0 {
+			return nil, errors.New("atlas: probe record without id")
+		}
+		if _, dup := r.byID[info.ID]; dup {
+			return nil, fmt.Errorf("atlas: duplicate probe id %d", info.ID)
+		}
+		r.byID[info.ID] = info
+		if info.ASNv4 != 0 {
+			r.byASN[info.ASNv4] = append(r.byASN[info.ASNv4], info)
+		}
+	}
+	return r, nil
+}
+
+// ParseRegistry reads probe metadata as either a JSON array or
+// newline-delimited JSON objects, auto-detected from the first byte.
+func ParseRegistry(rd io.Reader) (*Registry, error) {
+	br := bufio.NewReader(rd)
+	first, err := firstNonSpace(br)
+	if err != nil {
+		return nil, fmt.Errorf("atlas: probe metadata: %w", err)
+	}
+	var infos []ProbeInfo
+	if first == '[' {
+		dec := json.NewDecoder(br)
+		if err := dec.Decode(&infos); err != nil {
+			return nil, fmt.Errorf("atlas: probe metadata: %w", err)
+		}
+		return NewRegistry(infos)
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var info ProbeInfo
+		if err := json.Unmarshal([]byte(text), &info); err != nil {
+			return nil, fmt.Errorf("atlas: probe metadata line %d: %w", line, err)
+		}
+		infos = append(infos, info)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewRegistry(infos)
+}
+
+// firstNonSpace peeks past leading whitespace without consuming data.
+func firstNonSpace(br *bufio.Reader) (byte, error) {
+	for i := 1; ; i++ {
+		buf, err := br.Peek(i)
+		if err != nil {
+			return 0, err
+		}
+		c := buf[i-1]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return c, nil
+		}
+	}
+}
+
+// WriteRegistry emits records as a JSON array, sorted by ID.
+func (r *Registry) WriteRegistry(w io.Writer) error {
+	infos := r.All()
+	enc := json.NewEncoder(w)
+	return enc.Encode(infos)
+}
+
+// Len returns the number of records.
+func (r *Registry) Len() int { return len(r.byID) }
+
+// ByID returns one probe's metadata.
+func (r *Registry) ByID(id int) (*ProbeInfo, bool) {
+	p, ok := r.byID[id]
+	return p, ok
+}
+
+// All returns every record sorted by ID.
+func (r *Registry) All() []ProbeInfo {
+	out := make([]ProbeInfo, 0, len(r.byID))
+	for _, p := range r.byID {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SelectOptions narrows a probe selection the way the paper does.
+type SelectOptions struct {
+	// ASN restricts to one origin AS (0 = any).
+	ASN bgp.ASN
+	// CountryCode restricts to one country ("" = any).
+	CountryCode string
+	// Cities restricts to the given localities (§4's Greater Tokyo
+	// Area); empty = any.
+	Cities []string
+	// ExcludeAnchors drops anchors, as §2 prescribes for last-mile
+	// analysis.
+	ExcludeAnchors bool
+	// MinVersion drops probes older than this hardware version
+	// (0 = any; §2 notes v1/v2 are noisier).
+	MinVersion int
+	// ConnectedOnly drops disconnected probes.
+	ConnectedOnly bool
+}
+
+// Select returns the IDs of probes matching the options, sorted.
+func (r *Registry) Select(opts SelectOptions) []int {
+	var out []int
+	for id, p := range r.byID {
+		if matches(p, opts) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ASNsWithAtLeast returns the ASes hosting at least n matching probes —
+// the paper's "all ASes hosting at least three Atlas probes" monitoring
+// bar (§3). The ASN field of opts is ignored.
+func (r *Registry) ASNsWithAtLeast(n int, opts SelectOptions) []bgp.ASN {
+	opts.ASN = 0
+	counts := make(map[bgp.ASN]int)
+	for _, p := range r.byID {
+		if p.ASNv4 == 0 || !matches(p, opts) {
+			continue
+		}
+		counts[p.ASNv4]++
+	}
+	var out []bgp.ASN
+	for asn, c := range counts {
+		if c >= n {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// matches applies SelectOptions to a single probe.
+func matches(p *ProbeInfo, opts SelectOptions) bool {
+	if opts.ASN != 0 && p.ASNv4 != opts.ASN {
+		return false
+	}
+	if opts.CountryCode != "" && !strings.EqualFold(p.CountryCode, opts.CountryCode) {
+		return false
+	}
+	if len(opts.Cities) > 0 {
+		found := false
+		for _, c := range opts.Cities {
+			if strings.EqualFold(c, p.City) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if opts.ExcludeAnchors && p.IsAnchor {
+		return false
+	}
+	if opts.MinVersion > 0 && p.Version < opts.MinVersion {
+		return false
+	}
+	if opts.ConnectedOnly && !p.Connected() {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package atlas simulates the parts of the RIPE Atlas platform the paper
+// relies on: a fleet of probes (and anchors) deployed across ASes, the
+// built-in traceroute measurements every probe runs continuously, and the
+// execution of those traceroutes over the netsim substrate. Results are
+// emitted in the traceroute package's model and serialise to genuine
+// Atlas JSON, so everything downstream is agnostic to whether data came
+// from the simulator or from the Atlas API.
+package atlas
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// Target is a traceroute destination.
+type Target struct {
+	// Addr is the destination address.
+	Addr netip.Addr
+	// PathMs is the base round-trip time from a generic ISP core router
+	// to the target (propagation across transit).
+	PathMs float64
+	// TailHops is the number of routers between the probe's ISP core
+	// and the target, inclusive of the target.
+	TailHops int
+}
+
+// Probe is one Atlas vantage point, fully wired into the simulated
+// network: its home LAN, its ISP's edge, and the shared aggregation
+// device its access line is terminated on.
+type Probe struct {
+	// ID is the Atlas probe identifier.
+	ID int
+	// Version is the hardware version (1–3); v1/v2 probes are noisier,
+	// which §2 notes and tolerates.
+	Version int
+	// IsAnchor marks datacenter-hosted anchors.
+	IsAnchor bool
+	// ASN is the hosting network.
+	ASN bgp.ASN
+	// CC and City locate the probe.
+	CC, City string
+	// PublicAddr is the probe's public address (the Atlas "from" field).
+	PublicAddr netip.Addr
+	// LANAddr is the probe's own private address.
+	LANAddr netip.Addr
+	// GatewayAddr is the home gateway, the traceroute's first hop.
+	GatewayAddr netip.Addr
+	// EdgeAddr is the ISP edge router, the first public hop.
+	EdgeAddr netip.Addr
+	// CoreAddr is the ISP core router behind the edge.
+	CoreAddr netip.Addr
+	// Device is the shared aggregation device between the gateway and
+	// the ISP edge. May be nil for a perfectly provisioned path.
+	Device *netsim.AggregationDevice
+	// EdgeBaseMs is the base RTT from the probe to the ISP edge.
+	EdgeBaseMs float64
+	// ExtraNoiseMs adds home-network noise on top of the hardware
+	// baseline: probes behind Wi-Fi or busy home LANs time packets with
+	// millisecond-scale variation, which drowns weak diurnal signals
+	// and spreads those ASes' prominent frequencies across the spectrum
+	// (Fig. 3, top).
+	ExtraNoiseMs float64
+	// Availability is the per-30-minute-window probability the probe is
+	// online (v3 ≈ 0.99, v1/v2 lower).
+	Availability float64
+}
+
+// noiseMs returns the per-hop reply noise for the probe's hardware
+// version plus its home-network contribution: v1/v2 probes time packets
+// less precisely.
+func (p *Probe) noiseMs() float64 {
+	base := 0.12
+	switch p.Version {
+	case 1, 2:
+		base = 0.35
+	}
+	return base + p.ExtraNoiseMs
+}
+
+// RouteTo assembles the simulated route from the probe to the target:
+// home gateway (private), ISP edge (public, behind the shared aggregation
+// device), ISP core, then the target's transit tail.
+func (p *Probe) RouteTo(target Target) *netsim.Route {
+	noise := p.noiseMs()
+	var sources []netsim.DelaySource
+	if p.Device != nil {
+		sources = append(sources, p.Device)
+	}
+	hops := []netsim.Hop{
+		{Addr: p.GatewayAddr, BaseMs: 0.35, NoiseMs: noise},
+		{Addr: p.EdgeAddr, BaseMs: p.EdgeBaseMs, NoiseMs: noise, Sources: sources},
+		{Addr: p.CoreAddr, BaseMs: 0.9, NoiseMs: noise},
+	}
+	tail := target.TailHops
+	if tail < 1 {
+		tail = 1
+	}
+	perHop := target.PathMs / float64(tail)
+	for i := 0; i < tail; i++ {
+		addr := target.Addr
+		if i < tail-1 {
+			addr = transitAddr(target.Addr, i)
+		}
+		hops = append(hops, netsim.Hop{Addr: addr, BaseMs: perHop, NoiseMs: noise})
+	}
+	return &netsim.Route{Hops: hops}
+}
+
+// LastMileRoute returns just the probe's first two hops — home gateway and
+// ISP edge with the shared device between them. Large-scale surveys sample
+// this truncated route directly instead of materialising full traceroute
+// results: the last-mile estimator only ever reads these two hops, so the
+// produced RTT samples are statistically identical to Trace + Estimate.
+func (p *Probe) LastMileRoute() *netsim.Route {
+	noise := p.noiseMs()
+	var sources []netsim.DelaySource
+	if p.Device != nil {
+		sources = append(sources, p.Device)
+	}
+	return &netsim.Route{Hops: []netsim.Hop{
+		{Addr: p.GatewayAddr, BaseMs: 0.35, NoiseMs: noise},
+		{Addr: p.EdgeAddr, BaseMs: p.EdgeBaseMs, NoiseMs: noise, Sources: sources},
+	}}
+}
+
+// transitAddr derives a deterministic transit router address on the path
+// toward dst.
+func transitAddr(dst netip.Addr, i int) netip.Addr {
+	if dst.Is4() {
+		b := dst.As4()
+		b[3] = byte(200 + i)
+		return netip.AddrFrom4(b)
+	}
+	b := dst.As16()
+	b[15] = byte(200 + i)
+	return netip.AddrFrom16(b)
+}
+
+// OnlineAt reports whether the probe is up during the 30-minute window
+// containing t, derived deterministically from probe identity and window
+// index so that an offline window drops all its traceroutes — which is
+// what the paper's <3-traceroutes sanity filter exists to catch.
+func (p *Probe) OnlineAt(t time.Time, seed uint64) bool {
+	window := uint64(t.Unix() / 1800)
+	rng := netsim.DerivedRand(seed, uint64(p.ID), window, 0xA11E)
+	return rng.Float64() < p.Availability
+}
+
+// Trace executes one traceroute to target at time t and returns the
+// result in Atlas form. Three probes are sent per hop. The rng governs
+// all stochastic components and should be derived from (seed, probe,
+// measurement, time) for reproducibility.
+func (p *Probe) Trace(msmID int, target Target, t time.Time, rng *rand.Rand) (*traceroute.Result, error) {
+	route := p.RouteTo(target)
+	res := &traceroute.Result{
+		ProbeID:   p.ID,
+		MsmID:     msmID,
+		Timestamp: t,
+		AF:        4,
+		SrcAddr:   p.LANAddr,
+		FromAddr:  p.PublicAddr,
+		DstAddr:   target.Addr,
+		Proto:     "ICMP",
+	}
+	if target.Addr.Is6() {
+		res.AF = 6
+	}
+	for i := 0; i < route.Len(); i++ {
+		hop := traceroute.HopResult{Hop: i + 1}
+		for k := 0; k < 3; k++ {
+			rtt, ok, err := route.RTT(i, t, rng)
+			if err != nil {
+				return nil, fmt.Errorf("atlas: probe %d: %w", p.ID, err)
+			}
+			if !ok {
+				hop.Replies = append(hop.Replies, traceroute.Reply{Timeout: true})
+				continue
+			}
+			hop.Replies = append(hop.Replies, traceroute.Reply{
+				From: route.Hops[i].Addr,
+				RTT:  rtt,
+				TTL:  64 - i,
+			})
+		}
+		res.Hops = append(res.Hops, hop)
+		// Stop at the destination, like a real traceroute.
+		if route.Hops[i].Addr == target.Addr {
+			break
+		}
+	}
+	return res, nil
+}

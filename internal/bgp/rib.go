@@ -1,0 +1,145 @@
+// Package bgp models the routing information the last-mile pipeline needs
+// from BGP: a RIB mapping prefixes to origin Autonomous Systems, with
+// longest-prefix match. The paper resolves each Atlas probe's public
+// address against BGP data because some ISP edge addresses are not
+// announced; this package provides that resolution step, loadable either
+// from a scenario generator or from a textual "prefix origin" dump.
+package bgp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+)
+
+// ASN is an Autonomous System number.
+type ASN uint32
+
+// String formats the ASN in the conventional "AS64500" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Route is one RIB entry.
+type Route struct {
+	Prefix netip.Prefix
+	Origin ASN
+}
+
+// RIB is a routing table mapping prefixes to origin ASes. The zero value
+// is an empty table ready for use.
+type RIB struct {
+	trie ipnet.Trie[ASN]
+	n    int
+}
+
+// ErrNoRoute is returned when no announced prefix covers an address.
+var ErrNoRoute = errors.New("bgp: no route")
+
+// Announce inserts a route. Announcing the same prefix twice replaces the
+// origin, mirroring a newer announcement superseding an older one.
+func (r *RIB) Announce(prefix netip.Prefix, origin ASN) error {
+	before := r.trie.Len()
+	if err := r.trie.Insert(prefix, origin); err != nil {
+		return fmt.Errorf("bgp: announce %v: %w", prefix, err)
+	}
+	if r.trie.Len() > before {
+		r.n++
+	}
+	return nil
+}
+
+// OriginOf returns the origin AS of the longest prefix covering addr.
+func (r *RIB) OriginOf(addr netip.Addr) (ASN, error) {
+	asn, err := r.trie.Lookup(addr)
+	if err != nil {
+		if errors.Is(err, ipnet.ErrNoMatch) {
+			return 0, ErrNoRoute
+		}
+		return 0, err
+	}
+	return asn, nil
+}
+
+// RouteTo returns the covering prefix and origin for addr.
+func (r *RIB) RouteTo(addr netip.Addr) (Route, error) {
+	p, asn, err := r.trie.LookupPrefix(addr)
+	if err != nil {
+		if errors.Is(err, ipnet.ErrNoMatch) {
+			return Route{}, ErrNoRoute
+		}
+		return Route{}, err
+	}
+	return Route{Prefix: p, Origin: asn}, nil
+}
+
+// Len returns the number of announced prefixes.
+func (r *RIB) Len() int { return r.n }
+
+// Routes returns all announced routes sorted by prefix string; intended
+// for dumps and tests.
+func (r *RIB) Routes() []Route {
+	var routes []Route
+	r.trie.Walk(func(p netip.Prefix, asn ASN) bool {
+		routes = append(routes, Route{Prefix: p, Origin: asn})
+		return true
+	})
+	sort.Slice(routes, func(i, j int) bool {
+		return routes[i].Prefix.String() < routes[j].Prefix.String()
+	})
+	return routes
+}
+
+// WriteTo writes the RIB as "prefix origin" lines (e.g. "192.0.2.0/24
+// 64500"), the same format ParseRIB reads.
+func (r *RIB) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, rt := range r.Routes() {
+		n, err := fmt.Fprintf(w, "%s %d\n", rt.Prefix, uint32(rt.Origin))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ParseRIB reads "prefix origin" lines. Blank lines and lines starting
+// with '#' are skipped. Parsing stops at the first malformed line with an
+// error naming the line number.
+func ParseRIB(r io.Reader) (*RIB, error) {
+	rib := &RIB{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bgp: line %d: want 'prefix origin', got %q", lineNo, line)
+		}
+		prefix, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineNo, err)
+		}
+		origin, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "AS"), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: bad origin %q", lineNo, fields[1])
+		}
+		if err := rib.Announce(prefix, ASN(origin)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rib, nil
+}

@@ -1,0 +1,148 @@
+package bgp
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestASNString(t *testing.T) {
+	if ASN(64500).String() != "AS64500" {
+		t.Fatalf("got %s", ASN(64500).String())
+	}
+}
+
+func TestAnnounceAndOrigin(t *testing.T) {
+	var rib RIB
+	if err := rib.Announce(netip.MustParsePrefix("192.0.2.0/24"), 64500); err != nil {
+		t.Fatal(err)
+	}
+	asn, err := rib.OriginOf(netip.MustParseAddr("192.0.2.10"))
+	if err != nil || asn != 64500 {
+		t.Fatalf("origin = %v, %v", asn, err)
+	}
+	if _, err := rib.OriginOf(netip.MustParseAddr("198.51.100.1")); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	var rib RIB
+	rib.Announce(netip.MustParsePrefix("10.0.0.0/8"), 1)
+	rib.Announce(netip.MustParsePrefix("10.128.0.0/9"), 2)
+	asn, err := rib.OriginOf(netip.MustParseAddr("10.200.0.1"))
+	if err != nil || asn != 2 {
+		t.Fatalf("origin = %v, %v; want AS2", asn, err)
+	}
+	asn, err = rib.OriginOf(netip.MustParseAddr("10.1.0.1"))
+	if err != nil || asn != 1 {
+		t.Fatalf("origin = %v, %v; want AS1", asn, err)
+	}
+}
+
+func TestRouteTo(t *testing.T) {
+	var rib RIB
+	rib.Announce(netip.MustParsePrefix("203.0.113.0/24"), 65001)
+	rt, err := rib.RouteTo(netip.MustParseAddr("203.0.113.99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Prefix.String() != "203.0.113.0/24" || rt.Origin != 65001 {
+		t.Fatalf("route = %+v", rt)
+	}
+	if _, err := rib.RouteTo(netip.MustParseAddr("8.8.8.8")); err != ErrNoRoute {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReannounceReplaces(t *testing.T) {
+	var rib RIB
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	rib.Announce(p, 1)
+	rib.Announce(p, 2)
+	if rib.Len() != 1 {
+		t.Fatalf("len = %d", rib.Len())
+	}
+	asn, _ := rib.OriginOf(netip.MustParseAddr("192.0.2.1"))
+	if asn != 2 {
+		t.Fatalf("origin = %v, want 2", asn)
+	}
+}
+
+func TestRoutesSorted(t *testing.T) {
+	var rib RIB
+	rib.Announce(netip.MustParsePrefix("192.0.2.0/24"), 1)
+	rib.Announce(netip.MustParsePrefix("10.0.0.0/8"), 2)
+	rib.Announce(netip.MustParsePrefix("2001:db8::/32"), 3)
+	routes := rib.Routes()
+	if len(routes) != 3 {
+		t.Fatalf("routes = %v", routes)
+	}
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].Prefix.String() > routes[i].Prefix.String() {
+			t.Fatalf("routes not sorted: %v", routes)
+		}
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	var rib RIB
+	rib.Announce(netip.MustParsePrefix("192.0.2.0/24"), 64500)
+	rib.Announce(netip.MustParsePrefix("2001:db8::/32"), 64501)
+	var buf bytes.Buffer
+	if _, err := rib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseRIB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != 2 {
+		t.Fatalf("len = %d", parsed.Len())
+	}
+	asn, err := parsed.OriginOf(netip.MustParseAddr("2001:db8::5"))
+	if err != nil || asn != 64501 {
+		t.Fatalf("origin = %v, %v", asn, err)
+	}
+}
+
+func TestParseRIBCommentsAndAS(t *testing.T) {
+	input := `# comment line
+
+192.0.2.0/24 AS64500
+10.0.0.0/8 1299
+`
+	rib, err := ParseRIB(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Len() != 2 {
+		t.Fatalf("len = %d", rib.Len())
+	}
+	asn, _ := rib.OriginOf(netip.MustParseAddr("192.0.2.1"))
+	if asn != 64500 {
+		t.Fatalf("origin = %v", asn)
+	}
+}
+
+func TestParseRIBErrors(t *testing.T) {
+	cases := []string{
+		"192.0.2.0/24",            // missing origin
+		"not-a-prefix 1",          // bad prefix
+		"192.0.2.0/24 not-an-asn", // bad origin
+		"192.0.2.0/24 1 extra",    // too many fields
+	}
+	for _, input := range cases {
+		if _, err := ParseRIB(strings.NewReader(input)); err == nil {
+			t.Errorf("input %q: want error", input)
+		}
+	}
+}
+
+func TestAnnounceInvalidPrefix(t *testing.T) {
+	var rib RIB
+	if err := rib.Announce(netip.Prefix{}, 1); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,406 @@
+package cdn
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/isp"
+)
+
+var (
+	start = time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	v4p   = netip.MustParsePrefix("20.1.0.0/16")
+	v6p   = netip.MustParsePrefix("2001:db8:1::/48")
+)
+
+func entry(at time.Time, ip string, bytes int64, durMs float64, cache CacheStatus) LogEntry {
+	return LogEntry{
+		Timestamp:  at,
+		ClientIP:   netip.MustParseAddr(ip),
+		Bytes:      bytes,
+		DurationMs: durMs,
+		Status:     200,
+		Cache:      cache,
+	}
+}
+
+func TestThroughputMbps(t *testing.T) {
+	e := entry(start, "20.1.0.5", 5_000_000, 1000, Hit)
+	if got := e.ThroughputMbps(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("throughput = %v, want 40", got)
+	}
+	e.DurationMs = 0
+	if e.ThroughputMbps() != 0 {
+		t.Fatal("zero duration should yield zero throughput")
+	}
+}
+
+func TestLogEntryValidate(t *testing.T) {
+	good := entry(start, "20.1.0.5", 100, 10, Hit)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Timestamp = time.Time{}
+	if bad.Validate() == nil {
+		t.Error("zero timestamp")
+	}
+	bad = good
+	bad.ClientIP = netip.Addr{}
+	if bad.Validate() == nil {
+		t.Error("invalid IP")
+	}
+	bad = good
+	bad.Bytes = -1
+	if bad.Validate() == nil {
+		t.Error("negative bytes")
+	}
+	bad = good
+	bad.DurationMs = -1
+	if bad.Validate() == nil {
+		t.Error("negative duration")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	entries := []LogEntry{
+		entry(start, "20.1.0.5", 5_000_000, 900.5, Hit),
+		entry(start.Add(time.Minute), "2001:db8::1", 100, 12, Miss),
+	}
+	for i := range entries {
+		if err := w.Write(&entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(&buf)
+	var got []LogEntry
+	for sc.Scan() {
+		got = append(got, sc.Entry())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("scanned %d", len(got))
+	}
+	if got[0].ClientIP != entries[0].ClientIP || got[0].Bytes != entries[0].Bytes {
+		t.Fatalf("entry 0 = %+v", got[0])
+	}
+	if got[0].DurationMs != 900.5 || got[0].Cache != Hit {
+		t.Fatalf("entry 0 = %+v", got[0])
+	}
+	if got[1].Cache != Miss || !got[1].ClientIP.Is6() {
+		t.Fatalf("entry 1 = %+v", got[1])
+	}
+	if !got[0].Timestamp.Equal(start) {
+		t.Fatalf("timestamp = %v", got[0].Timestamp)
+	}
+}
+
+func TestScannerBadInput(t *testing.T) {
+	sc := NewScanner(strings.NewReader("ts_unix,client_ip,bytes,duration_ms,status,cache\nnope,1.2.3.4,1,1,200,HIT\n"))
+	if sc.Scan() {
+		t.Fatal("bad row should not scan")
+	}
+	if sc.Err() == nil {
+		t.Fatal("want error")
+	}
+	cases := []string{
+		"1,garbage,1,1,200,HIT",
+		"1,1.2.3.4,-1,1,200,HIT",
+		"1,1.2.3.4,1,-1,200,HIT",
+		"1,1.2.3.4,1,1,xx,HIT",
+	}
+	for _, c := range cases {
+		sc := NewScanner(strings.NewReader(c + "\n"))
+		if sc.Scan() || sc.Err() == nil {
+			t.Errorf("row %q should fail", c)
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	bad := LogEntry{}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestEstimatorFilters(t *testing.T) {
+	est, err := NewEstimator(start, start.Add(time.Hour), DefaultThroughputOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := entry(start.Add(time.Minute), "20.1.0.5", 5_000_000, 1000, Hit)
+	est.Add(&big)
+	small := entry(start.Add(time.Minute), "20.1.0.6", 100_000, 100, Hit)
+	est.Add(&small)
+	miss := entry(start.Add(time.Minute), "20.1.0.7", 5_000_000, 1000, Miss)
+	est.Add(&miss)
+	outside := entry(start.Add(2*time.Hour), "20.1.0.8", 5_000_000, 1000, Hit)
+	est.Add(&outside)
+	if est.Accepted != 1 || est.Rejected != 3 {
+		t.Fatalf("accepted=%d rejected=%d", est.Accepted, est.Rejected)
+	}
+	s := est.Series(1)
+	if math.Abs(s.Values[0]-40) > 1e-9 {
+		t.Fatalf("bin 0 = %v, want 40", s.Values[0])
+	}
+	if !math.IsNaN(s.Values[1]) {
+		t.Fatal("empty bin should be NaN")
+	}
+}
+
+func TestEstimatorMobileFilter(t *testing.T) {
+	opts := DefaultThroughputOptions()
+	var mobile ipnet.PrefixSet
+	if err := mobile.AddString("20.9.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	opts.ExcludeMobile = &mobile
+	est, _ := NewEstimator(start, start.Add(time.Hour), opts)
+	fixed := entry(start, "20.1.0.5", 5_000_000, 1000, Hit)
+	mob := entry(start, "20.9.0.5", 5_000_000, 500, Hit)
+	est.Add(&fixed)
+	est.Add(&mob)
+	if est.Accepted != 1 {
+		t.Fatalf("accepted = %d, want mobile dropped", est.Accepted)
+	}
+}
+
+func TestEstimatorIncludeAndAF(t *testing.T) {
+	opts := DefaultThroughputOptions()
+	opts.Include = func(a netip.Addr) bool { return v4p.Contains(a) }
+	est, _ := NewEstimator(start, start.Add(time.Hour), opts)
+	in := entry(start, "20.1.0.5", 5_000_000, 1000, Hit)
+	out := entry(start, "99.0.0.1", 5_000_000, 1000, Hit)
+	est.Add(&in)
+	est.Add(&out)
+	if est.Accepted != 1 {
+		t.Fatalf("accepted = %d", est.Accepted)
+	}
+
+	opts = DefaultThroughputOptions()
+	opts.AF = 6
+	est6, _ := NewEstimator(start, start.Add(time.Hour), opts)
+	e4 := entry(start, "20.1.0.5", 5_000_000, 1000, Hit)
+	e6 := entry(start, "2001:db8::5", 5_000_000, 1000, Hit)
+	est6.Add(&e4)
+	est6.Add(&e6)
+	if est6.Accepted != 1 {
+		t.Fatalf("af=6 accepted = %d", est6.Accepted)
+	}
+}
+
+func TestEstimatorMedianAcrossIPs(t *testing.T) {
+	est, _ := NewEstimator(start, start.Add(30*time.Minute), DefaultThroughputOptions())
+	// Three IPs at 10, 40, 90 Mbps.
+	rates := map[string]float64{"20.1.0.1": 10, "20.1.0.2": 40, "20.1.0.3": 90}
+	for ip, mbps := range rates {
+		durMs := float64(8_000_000) * 8 / 1e6 / mbps * 1000
+		e := entry(start.Add(time.Minute), ip, 8_000_000, durMs, Hit)
+		est.Add(&e)
+	}
+	s := est.Series(1)
+	if math.Abs(s.Values[0]-40) > 0.5 {
+		t.Fatalf("median = %v, want ~40", s.Values[0])
+	}
+	if est.UniqueIPs() != 3 {
+		t.Fatalf("unique = %d", est.UniqueIPs())
+	}
+}
+
+func TestEstimatorMinIPs(t *testing.T) {
+	est, _ := NewEstimator(start, start.Add(30*time.Minute), DefaultThroughputOptions())
+	e := entry(start, "20.1.0.1", 5_000_000, 1000, Hit)
+	est.Add(&e)
+	if !math.IsNaN(est.Series(2).Values[0]) {
+		t.Fatal("bin with 1 IP should gap at minIPs=2")
+	}
+	if math.IsNaN(est.Series(1).Values[0]) {
+		t.Fatal("bin should be present at minIPs=1")
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	if _, err := NewEstimator(start, start, DefaultThroughputOptions()); err == nil {
+		t.Fatal("empty range")
+	}
+	opts := DefaultThroughputOptions()
+	opts.BinWidth = -time.Minute
+	if _, err := NewEstimator(start, start.Add(time.Hour), opts); err == nil {
+		t.Fatal("negative bin width")
+	}
+}
+
+func buildGenerator(t *testing.T, cfg isp.Config, clients int) *Generator {
+	t.Helper()
+	n, err := isp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Generator{
+		Network:                 n,
+		Devices:                 n.BuildDevices(77, 0),
+		Clients:                 clients,
+		RequestsPerClientPerDay: 40,
+		DualStackFrac:           0.5,
+		Seed:                    77,
+	}
+}
+
+func TestGeneratorProducesValidEntries(t *testing.T) {
+	g := buildGenerator(t, isp.NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p), 50)
+	end := start.Add(6 * time.Hour)
+	count, v6count := 0, 0
+	err := g.Generate(start, end, func(e LogEntry) error {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if e.Timestamp.Before(start) || !e.Timestamp.Before(end) {
+			t.Fatalf("timestamp %v outside range", e.Timestamp)
+		}
+		if e.ClientIP.Is6() {
+			v6count++
+			if !v6p.Contains(e.ClientIP) {
+				t.Fatalf("v6 client %v outside prefix", e.ClientIP)
+			}
+		} else if !v4p.Contains(e.ClientIP) {
+			t.Fatalf("v4 client %v outside prefix", e.ClientIP)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 100 {
+		t.Fatalf("only %d entries generated", count)
+	}
+	if v6count == 0 {
+		t.Fatal("no dual-stack traffic generated")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	collect := func() []LogEntry {
+		g := buildGenerator(t, isp.NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p), 10)
+		var out []LogEntry
+		g.Generate(start, start.Add(3*time.Hour), func(e LogEntry) error {
+			out = append(out, e)
+			return nil
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	g := &Generator{}
+	if err := g.Generate(start, start.Add(time.Hour), nil); err == nil {
+		t.Fatal("nil network must error")
+	}
+	g2 := buildGenerator(t, isp.NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p), 5)
+	if err := g2.Generate(start, start, nil); err == nil {
+		t.Fatal("empty range must error")
+	}
+	g3 := buildGenerator(t, isp.NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p), 5)
+	g3.Clients = 0
+	if err := g3.Generate(start, start.Add(time.Hour), nil); err == nil {
+		t.Fatal("zero clients must error")
+	}
+}
+
+func TestCongestionShowsInGeneratedThroughput(t *testing.T) {
+	// A severely congested legacy ISP must show a clear peak-hour
+	// throughput drop in its own generated logs.
+	g := buildGenerator(t, isp.NewLegacyPPPoE("ISP_A", 100, "JP", 9, v4p, v6p, 0.95), 300)
+	end := start.Add(48 * time.Hour)
+	est, err := NewEstimator(start, end, DefaultThroughputOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Generate(start, end, func(e LogEntry) error {
+		est.Add(&e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := est.Series(3)
+	// Compare 21:00 JST (12:00 UTC) bins with 04:00 JST (19:00 UTC).
+	peakIdx, _ := s.IndexOf(start.Add(12 * time.Hour))
+	offIdx, _ := s.IndexOf(start.Add(19 * time.Hour))
+	peak := s.Values[peakIdx]
+	off := s.Values[offIdx]
+	if math.IsNaN(peak) || math.IsNaN(off) {
+		t.Fatalf("missing bins: peak=%v off=%v", peak, off)
+	}
+	if peak > off*0.7 {
+		t.Fatalf("peak throughput %v vs off-peak %v: drop not visible", peak, off)
+	}
+}
+
+func BenchmarkGeneratorDay(b *testing.B) {
+	n, err := isp.New(isp.NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := &Generator{
+		Network: n, Devices: n.BuildDevices(77, 0),
+		Clients: 100, RequestsPerClientPerDay: 40, Seed: 77,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Generate(start, start.Add(24*time.Hour), func(LogEntry) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLogScannerReadsGzip(t *testing.T) {
+	var plain bytes.Buffer
+	w := NewWriter(&plain)
+	e := entry(start, "20.1.0.5", 5_000_000, 900.5, Hit)
+	if err := w.Write(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(&zipped)
+	if !sc.Scan() {
+		t.Fatalf("scan failed: %v", sc.Err())
+	}
+	if sc.Entry().Bytes != 5_000_000 {
+		t.Fatalf("entry = %+v", sc.Entry())
+	}
+}

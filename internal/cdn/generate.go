@@ -1,0 +1,146 @@
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/isp"
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+)
+
+// Generator synthesises CDN access logs for one network's client
+// population. Every client is pinned to an aggregation device, and each
+// request's transfer duration comes from that device's fair-share
+// throughput at request time — so the logs carry the same congestion
+// signal as the delay measurements.
+type Generator struct {
+	// Network is the subscriber population.
+	Network *isp.Network
+	// Devices are the period's device instances (from
+	// Network.BuildDevices).
+	Devices *isp.DeviceSet
+	// Clients is the number of distinct subscriber IPs.
+	Clients int
+	// RequestsPerClientPerDay is the average request rate at flat
+	// demand; the diurnal profile modulates it.
+	RequestsPerClientPerDay float64
+	// DualStackFrac is the fraction of clients that also request over
+	// IPv6 (half their requests, mirroring happy-eyeballs behaviour).
+	DualStackFrac float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// slotWidth is the generator's scheduling granularity.
+const slotWidth = 15 * time.Minute
+
+// Generate produces log entries over [start, end) in time order per
+// client, calling emit for each. It stops at the first emit error.
+func (g *Generator) Generate(start, end time.Time, emit func(LogEntry) error) error {
+	if g.Network == nil || g.Devices == nil {
+		return errors.New("cdn: generator needs a network and devices")
+	}
+	if g.Clients <= 0 {
+		return errors.New("cdn: generator needs clients")
+	}
+	if !start.Before(end) {
+		return errors.New("cdn: start must precede end")
+	}
+	rate := g.RequestsPerClientPerDay
+	if rate <= 0 {
+		rate = 24
+	}
+	profile := netsim.DefaultProfile(g.Network.UTCOffset)
+	// Per-slot request probability at demand d: rate/day scaled so that
+	// the average over the profile's day roughly matches the rate.
+	slotsPerDay := float64(24*time.Hour) / float64(slotWidth)
+	pBase := rate / slotsPerDay / 0.55 // 0.55 ≈ mean demand of the default profile
+
+	for c := 0; c < g.Clients; c++ {
+		v4, v6, err := g.clientAddrs(uint64(c))
+		if err != nil {
+			return err
+		}
+		dual := netsim.DerivedRand(g.Seed, uint64(c), 0xD0A1).Float64() < g.DualStackFrac
+		for slot, t := 0, start; t.Before(end); slot, t = slot+1, t.Add(slotWidth) {
+			rng := netsim.DerivedRand(g.Seed, uint64(c), uint64(slot))
+			demand := profile.DemandAt(t)
+			n := 0
+			p := pBase * demand
+			for p > 0 {
+				if rng.Float64() < p {
+					n++
+				}
+				p--
+			}
+			for k := 0; k < n; k++ {
+				af := 4
+				addr := v4
+				if dual && v6.IsValid() && rng.Float64() < 0.5 {
+					af = 6
+					addr = v6
+				}
+				dev := g.Devices.DeviceFor(uint64(c), af)
+				if dev == nil {
+					return fmt.Errorf("cdn: no device for client %d af %d", c, af)
+				}
+				at := t.Add(time.Duration(rng.Int63n(int64(slotWidth))))
+				e := g.request(addr, dev, at, rng)
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// clientAddrs assigns deterministic subscriber addresses.
+func (g *Generator) clientAddrs(c uint64) (v4, v6 netip.Addr, err error) {
+	v4, err = ipnet.HostAt(g.Network.Prefix, c+100)
+	if err != nil {
+		return netip.Addr{}, netip.Addr{}, fmt.Errorf("cdn: %s: %w", g.Network.Name, err)
+	}
+	if g.Network.PrefixV6.IsValid() {
+		v6, err = ipnet.HostAt(g.Network.PrefixV6, c+100)
+		if err != nil {
+			return netip.Addr{}, netip.Addr{}, fmt.Errorf("cdn: %s: %w", g.Network.Name, err)
+		}
+	}
+	return v4, v6, nil
+}
+
+// request synthesises one transfer at time at through dev.
+func (g *Generator) request(addr netip.Addr, dev *netsim.AggregationDevice, at time.Time, rng *rand.Rand) LogEntry {
+	// Object mix: 70% small web assets, 30% large media segments. The
+	// estimator's >3 MB filter selects the latter.
+	var size int64
+	if rng.Float64() < 0.7 {
+		size = int64(2_000 + rng.Intn(900_000))
+	} else {
+		size = int64(3_500_000 + netsim.Lognormal(rng, 1.2, 0.7)*1_500_000)
+	}
+	cache := Hit
+	if rng.Float64() < 0.08 {
+		cache = Miss
+	}
+	thr := dev.ThroughputAt(at, rng) // Mbit/s
+	durMs := float64(size) * 8 / 1e6 / thr * 1000
+	// Server-side and origin latency overheads.
+	durMs += 20 + rng.Float64()*30
+	if cache == Miss {
+		durMs += 150 + rng.Float64()*250
+	}
+	return LogEntry{
+		Timestamp:  at,
+		ClientIP:   addr,
+		Bytes:      size,
+		DurationMs: durMs,
+		Status:     200,
+		Cache:      cache,
+	}
+}

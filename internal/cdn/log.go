@@ -1,0 +1,219 @@
+// Package cdn models the CDN access-log side of the paper's validation
+// (§4): a log-entry model with a CSV codec, a log generator driven by the
+// same netsim devices that shape the delay measurements, and the
+// throughput estimator — median per-IP throughput of large cache-hit
+// objects in 15-minute bins, with mobile prefixes removed.
+package cdn
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"time"
+
+	lmioutil "github.com/last-mile-congestion/lastmile/internal/ioutil"
+)
+
+// CacheStatus is the CDN cache outcome of a request.
+type CacheStatus int
+
+// Cache outcomes.
+const (
+	// Hit was served from the CDN edge cache. Only hits are usable for
+	// access-throughput estimation: misses are bottlenecked at the
+	// origin fetch, not the subscriber line.
+	Hit CacheStatus = iota
+	// Miss was fetched from origin.
+	Miss
+)
+
+// String returns the log token for the status.
+func (c CacheStatus) String() string {
+	if c == Hit {
+		return "HIT"
+	}
+	return "MISS"
+}
+
+// LogEntry is one CDN access-log record, reduced to the fields the
+// estimator needs.
+type LogEntry struct {
+	// Timestamp is the request completion time.
+	Timestamp time.Time
+	// ClientIP is the subscriber address (v4 or v6).
+	ClientIP netip.Addr
+	// Bytes is the response body size.
+	Bytes int64
+	// DurationMs is the transfer duration in milliseconds.
+	DurationMs float64
+	// Status is the HTTP status code.
+	Status int
+	// Cache is the cache outcome.
+	Cache CacheStatus
+}
+
+// ThroughputMbps returns the entry's transfer rate in Mbit/s, or 0 for a
+// degenerate duration.
+func (e *LogEntry) ThroughputMbps() float64 {
+	if e.DurationMs <= 0 {
+		return 0
+	}
+	return float64(e.Bytes) * 8 / 1e6 / (e.DurationMs / 1000)
+}
+
+// Validate checks the entry for structural sanity.
+func (e *LogEntry) Validate() error {
+	if e.Timestamp.IsZero() {
+		return errors.New("cdn: zero timestamp")
+	}
+	if !e.ClientIP.IsValid() {
+		return errors.New("cdn: invalid client address")
+	}
+	if e.Bytes < 0 {
+		return errors.New("cdn: negative size")
+	}
+	if e.DurationMs < 0 {
+		return errors.New("cdn: negative duration")
+	}
+	return nil
+}
+
+// csvHeader is the column layout of the CSV codec.
+var csvHeader = []string{"ts_unix", "client_ip", "bytes", "duration_ms", "status", "cache"}
+
+// Writer streams log entries as CSV.
+type Writer struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewWriter wraps w for CSV output; the header row is written with the
+// first entry.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w)}
+}
+
+// Write appends one entry.
+func (w *Writer) Write(e *LogEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if !w.wroteHeader {
+		if err := w.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	rec := []string{
+		strconv.FormatInt(e.Timestamp.Unix(), 10),
+		e.ClientIP.String(),
+		strconv.FormatInt(e.Bytes, 10),
+		strconv.FormatFloat(e.DurationMs, 'f', 3, 64),
+		strconv.Itoa(e.Status),
+		e.Cache.String(),
+	}
+	return w.cw.Write(rec)
+}
+
+// Flush flushes buffered output and reports any write error.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Scanner streams log entries from CSV produced by Writer (or any source
+// with the same columns).
+type Scanner struct {
+	cr   *csv.Reader
+	cur  LogEntry
+	err  error
+	line int
+}
+
+// NewScanner wraps r for CSV input, transparently decompressing
+// gzip-compressed streams (access logs usually ship as .gz).
+func NewScanner(r io.Reader) *Scanner {
+	rd, err := lmioutil.MaybeGzip(r)
+	if err != nil {
+		s := &Scanner{cr: csv.NewReader(bufio.NewReader(r))}
+		s.err = fmt.Errorf("cdn: %w", err)
+		return s
+	}
+	cr := csv.NewReader(bufio.NewReader(rd))
+	cr.FieldsPerRecord = len(csvHeader)
+	return &Scanner{cr: cr}
+}
+
+// Scan advances to the next entry. It returns false at end of input or on
+// the first error; check Err.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			return false
+		}
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.line++
+		if rec[0] == csvHeader[0] { // header row
+			continue
+		}
+		e, err := parseRecord(rec)
+		if err != nil {
+			s.err = fmt.Errorf("cdn: line %d: %w", s.line, err)
+			return false
+		}
+		s.cur = e
+		return true
+	}
+}
+
+func parseRecord(rec []string) (LogEntry, error) {
+	ts, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return LogEntry{}, fmt.Errorf("bad timestamp %q", rec[0])
+	}
+	ip, err := netip.ParseAddr(rec[1])
+	if err != nil {
+		return LogEntry{}, fmt.Errorf("bad client address %q", rec[1])
+	}
+	size, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil || size < 0 {
+		return LogEntry{}, fmt.Errorf("bad size %q", rec[2])
+	}
+	dur, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil || dur < 0 {
+		return LogEntry{}, fmt.Errorf("bad duration %q", rec[3])
+	}
+	status, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return LogEntry{}, fmt.Errorf("bad status %q", rec[4])
+	}
+	cache := Miss
+	if rec[5] == "HIT" {
+		cache = Hit
+	}
+	return LogEntry{
+		Timestamp:  time.Unix(ts, 0).UTC(),
+		ClientIP:   ip.Unmap(),
+		Bytes:      size,
+		DurationMs: dur,
+		Status:     status,
+		Cache:      cache,
+	}, nil
+}
+
+// Entry returns the entry parsed by the last successful Scan.
+func (s *Scanner) Entry() LogEntry { return s.cur }
+
+// Err returns the first error encountered, or nil at clean end of input.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,48 @@
+package cdn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the CSV scanner must never panic on malformed input.
+func TestLogScannerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seeds := []string{
+		"ts_unix,client_ip,bytes,duration_ms,status,cache\n1,1.2.3.4,1,1,200,HIT\n",
+		"a,b,c,d,e,f\n",
+		",,,,,\n",
+		"1,1.2.3.4,1,1,200\n", // short row
+		"\"unterminated,1,1,1,200,HIT\n",
+		strings.Repeat("x", 100000) + "\n",
+	}
+	for _, seed := range seeds {
+		for trial := 0; trial < 100; trial++ {
+			mut := []byte(seed)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				if len(mut) == 0 {
+					break
+				}
+				switch rng.Intn(2) {
+				case 0:
+					mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+				case 1:
+					mut = mut[:rng.Intn(len(mut)+1)]
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", mut, r)
+					}
+				}()
+				sc := NewScanner(strings.NewReader(string(mut)))
+				for sc.Scan() {
+					_ = sc.Entry()
+				}
+				_ = sc.Err()
+			}()
+		}
+	}
+}

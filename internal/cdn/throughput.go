@@ -1,0 +1,169 @@
+package cdn
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/stats"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// DefaultMinBytes is the paper's object-size filter: only transfers over
+// 3 MB are large enough for TCP to reach steady state (§4.2).
+const DefaultMinBytes = 3_000_000
+
+// DefaultThroughputBin is the paper's 15-minute throughput bin.
+const DefaultThroughputBin = 15 * time.Minute
+
+// ThroughputOptions configures EstimateThroughput.
+type ThroughputOptions struct {
+	// MinBytes drops transfers smaller than this (default 3 MB).
+	MinBytes int64
+	// RequireCacheHit drops origin fetches (default in
+	// DefaultThroughputOptions; the zero value keeps everything).
+	RequireCacheHit bool
+	// BinWidth is the aggregation bin (default 15 minutes).
+	BinWidth time.Duration
+	// Include restricts the estimate to matching client addresses —
+	// typically "belongs to this AS". Nil includes everything.
+	Include func(netip.Addr) bool
+	// ExcludeMobile drops clients covered by these prefixes, the
+	// paper's mobile-prefix filter. Nil disables the filter.
+	ExcludeMobile *ipnet.PrefixSet
+	// AF restricts to one address family (4 or 6); 0 keeps both.
+	AF int
+}
+
+// DefaultThroughputOptions returns the paper's §4.2 filters.
+func DefaultThroughputOptions() ThroughputOptions {
+	return ThroughputOptions{
+		MinBytes:        DefaultMinBytes,
+		RequireCacheHit: true,
+		BinWidth:        DefaultThroughputBin,
+	}
+}
+
+// Estimator accumulates log entries and produces the median-throughput
+// series. It implements the paper's aggregation: throughput is measured
+// per IP, then the AS aggregate is the median across per-IP values in
+// each bin.
+type Estimator struct {
+	opts  ThroughputOptions
+	start time.Time
+	bins  []map[netip.Addr]*ipAccum
+	// Accepted and Rejected count entries across the filters.
+	Accepted, Rejected int
+}
+
+type ipAccum struct {
+	sum float64
+	n   int
+}
+
+// NewEstimator creates an estimator covering [start, end).
+func NewEstimator(start, end time.Time, opts ThroughputOptions) (*Estimator, error) {
+	if opts.BinWidth == 0 {
+		opts.BinWidth = DefaultThroughputBin
+	}
+	if opts.BinWidth < 0 {
+		return nil, errors.New("cdn: negative bin width")
+	}
+	if opts.MinBytes == 0 {
+		opts.MinBytes = DefaultMinBytes
+	}
+	if !start.Before(end) {
+		return nil, errors.New("cdn: start must precede end")
+	}
+	n := int(end.Sub(start) / opts.BinWidth)
+	if end.Sub(start)%opts.BinWidth != 0 {
+		n++
+	}
+	bins := make([]map[netip.Addr]*ipAccum, n)
+	return &Estimator{opts: opts, start: start, bins: bins}, nil
+}
+
+// Add feeds one log entry through the filters.
+func (e *Estimator) Add(entry *LogEntry) {
+	if !e.accept(entry) {
+		e.Rejected++
+		return
+	}
+	i := int(entry.Timestamp.Sub(e.start) / e.opts.BinWidth)
+	if i < 0 || i >= len(e.bins) {
+		e.Rejected++
+		return
+	}
+	if e.bins[i] == nil {
+		e.bins[i] = make(map[netip.Addr]*ipAccum)
+	}
+	acc := e.bins[i][entry.ClientIP]
+	if acc == nil {
+		acc = &ipAccum{}
+		e.bins[i][entry.ClientIP] = acc
+	}
+	acc.sum += entry.ThroughputMbps()
+	acc.n++
+	e.Accepted++
+}
+
+func (e *Estimator) accept(entry *LogEntry) bool {
+	if entry.Bytes < e.opts.MinBytes {
+		return false
+	}
+	if e.opts.RequireCacheHit && entry.Cache != Hit {
+		return false
+	}
+	if entry.DurationMs <= 0 {
+		return false
+	}
+	addr := entry.ClientIP
+	if e.opts.AF == 4 && !addr.Is4() {
+		return false
+	}
+	if e.opts.AF == 6 && addr.Is4() {
+		return false
+	}
+	if e.opts.Include != nil && !e.opts.Include(addr) {
+		return false
+	}
+	if e.opts.ExcludeMobile != nil && e.opts.ExcludeMobile.Contains(addr) {
+		return false
+	}
+	return true
+}
+
+// Series returns the per-bin median of per-IP mean throughput in Mbit/s.
+// Bins with fewer than minIPs distinct clients become gaps.
+func (e *Estimator) Series(minIPs int) *timeseries.Series {
+	out, err := timeseries.NewSeries(e.start, e.opts.BinWidth, len(e.bins))
+	if err != nil {
+		panic("cdn: invalid estimator state: " + err.Error())
+	}
+	var perIP []float64
+	for i, bin := range e.bins {
+		if len(bin) < minIPs || len(bin) == 0 {
+			continue
+		}
+		perIP = perIP[:0]
+		for _, acc := range bin {
+			perIP = append(perIP, acc.sum/float64(acc.n))
+		}
+		if m, err := stats.MedianInPlace(perIP); err == nil {
+			out.Values[i] = m
+		}
+	}
+	return out
+}
+
+// UniqueIPs returns the number of distinct client addresses accepted.
+func (e *Estimator) UniqueIPs() int {
+	seen := make(map[netip.Addr]struct{})
+	for _, bin := range e.bins {
+		for ip := range bin {
+			seen[ip] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// probeDelaySeries builds one probe's queuing-delay series with a daily
+// sinusoid of the given amplitude plus noise.
+func probeDelaySeries(p2p, noise float64, seed int64) *timeseries.Series {
+	s, _ := timeseries.NewSeries(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, 720)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range s.Values {
+		hours := float64(i) / 2
+		s.Values[i] = p2p/2*(1+math.Sin(2*math.Pi*hours/24)) + math.Abs(rng.NormFloat64())*noise
+	}
+	return s
+}
+
+func TestBootstrapHomogeneousPopulation(t *testing.T) {
+	// All probes agree: tight CI, perfect class stability.
+	var pop []*timeseries.Series
+	for p := 0; p < 10; p++ {
+		pop = append(pop, probeDelaySeries(4.0, 0.1, int64(p)))
+	}
+	r, err := BootstrapAmplitude(pop, BootstrapOptions{Iterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Class != Severe {
+		t.Fatalf("class = %v", r.Class)
+	}
+	if r.ClassStability < 0.95 {
+		t.Fatalf("stability = %v, want ~1 for homogeneous probes", r.ClassStability)
+	}
+	if r.CI90High-r.CI90Low > 0.5 {
+		t.Fatalf("CI width = %v, want tight", r.CI90High-r.CI90Low)
+	}
+	if r.CI90Low > r.Amplitude || r.CI90High < r.Amplitude {
+		t.Fatalf("point %.2f outside CI [%.2f, %.2f]", r.Amplitude, r.CI90Low, r.CI90High)
+	}
+}
+
+func TestBootstrapSplitPopulation(t *testing.T) {
+	// Half the probes congested, half clean — §5's worry made concrete.
+	// The verdict must be visibly unstable compared to the homogeneous
+	// case.
+	var pop []*timeseries.Series
+	for p := 0; p < 4; p++ {
+		pop = append(pop, probeDelaySeries(4.0, 0.1, int64(p)))
+	}
+	for p := 4; p < 8; p++ {
+		pop = append(pop, probeDelaySeries(0.0, 0.1, int64(p)))
+	}
+	r, err := BootstrapAmplitude(pop, BootstrapOptions{Iterations: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClassStability > 0.9 {
+		t.Fatalf("stability = %v, want visibly unstable for a split population", r.ClassStability)
+	}
+	if r.CI90High-r.CI90Low < 0.5 {
+		t.Fatalf("CI width = %v, want wide", r.CI90High-r.CI90Low)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	if _, err := BootstrapAmplitude(nil, BootstrapOptions{}); err == nil {
+		t.Fatal("empty population must error")
+	}
+	// An all-gap probe cannot be aggregated into a classifiable signal.
+	s, _ := timeseries.NewSeries(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, 720)
+	if _, err := BootstrapAmplitude([]*timeseries.Series{s}, BootstrapOptions{Iterations: 5}); err == nil {
+		t.Fatal("unclassifiable population must error")
+	}
+}
+
+func TestBootstrapString(t *testing.T) {
+	r := &BootstrapResult{Class: Mild, Amplitude: 1.5, CI90Low: 1.2, CI90High: 1.8, ClassStability: 0.87}
+	s := r.String()
+	if !strings.Contains(s, "Mild") || !strings.Contains(s, "1.50") || !strings.Contains(s, "87%") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	var pop []*timeseries.Series
+	for p := 0; p < 5; p++ {
+		pop = append(pop, probeDelaySeries(1.5, 0.3, int64(p)))
+	}
+	a, err := BootstrapAmplitude(pop, BootstrapOptions{Iterations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapAmplitude(pop, BootstrapOptions{Iterations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CI90Low != b.CI90Low || a.CI90High != b.CI90High || a.ClassStability != b.ClassStability {
+		t.Fatal("bootstrap not deterministic for equal seeds")
+	}
+}

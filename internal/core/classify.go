@@ -1,0 +1,180 @@
+// Package core implements the paper's persistent-congestion detector
+// (§2.3) and the survey bookkeeping built on it (§3): aggregated
+// queuing-delay signals are transformed with the Welch method, the
+// prominent frequency component is located, and ASes whose prominent
+// component is the daily cycle are classified Severe / Mild / Low by the
+// average peak-to-peak amplitude of that cycle.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/last-mile-congestion/lastmile/internal/dsp"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// DailyFreq is the frequency of a daily cycle in cycles per hour, the
+// x = 1/24 line of Figures 2 and 3.
+const DailyFreq = 1.0 / 24.0
+
+// Class is a persistent-congestion severity class.
+type Class int
+
+// The paper's four classes (§2.3), ordered by severity.
+const (
+	// None: no prominent daily pattern, or daily amplitude below the Low
+	// threshold.
+	None Class = iota
+	// Low: prominent daily pattern with amplitude over 0.5 ms.
+	Low
+	// Mild: prominent daily pattern with amplitude over 1 ms.
+	Mild
+	// Severe: prominent daily pattern with amplitude over 3 ms.
+	Severe
+)
+
+// String returns the class name as used in the paper.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "None"
+	case Low:
+		return "Low"
+	case Mild:
+		return "Mild"
+	case Severe:
+		return "Severe"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Reported reports whether the class indicates persistent congestion
+// (anything but None); the paper calls such ASes "reported".
+func (c Class) Reported() bool { return c != None }
+
+// Thresholds holds the amplitude cut-offs in milliseconds.
+type Thresholds struct {
+	Low, Mild, Severe float64
+}
+
+// DefaultThresholds returns the paper's 0.5 / 1 / 3 ms cut-offs, chosen
+// to focus on the tail of the amplitude distribution (≈83% of ASes sit
+// below 0.5 ms).
+func DefaultThresholds() Thresholds {
+	return Thresholds{Low: 0.5, Mild: 1, Severe: 3}
+}
+
+// Validate checks that the thresholds are positive and ordered.
+func (t Thresholds) Validate() error {
+	if t.Low <= 0 || t.Mild <= t.Low || t.Severe <= t.Mild {
+		return fmt.Errorf("core: thresholds must satisfy 0 < Low < Mild < Severe, got %+v", t)
+	}
+	return nil
+}
+
+// classify maps a daily amplitude to a class.
+func (t Thresholds) classify(amp float64, isDaily bool) Class {
+	if !isDaily {
+		return None
+	}
+	switch {
+	case amp > t.Severe:
+		return Severe
+	case amp > t.Mild:
+		return Mild
+	case amp > t.Low:
+		return Low
+	default:
+		return None
+	}
+}
+
+// ClassifierOptions configures Classify.
+type ClassifierOptions struct {
+	// Welch configures the spectral estimate; the zero value selects
+	// dsp.WelchDefaults.
+	Welch dsp.WelchOptions
+	// Thresholds are the class cut-offs; the zero value selects
+	// DefaultThresholds.
+	Thresholds Thresholds
+	// MaxGapFrac is the largest fraction of gap bins tolerated before a
+	// signal is rejected as too sparse to classify (default 0.5).
+	MaxGapFrac float64
+}
+
+// DefaultClassifierOptions returns the paper pipeline's configuration.
+func DefaultClassifierOptions() ClassifierOptions {
+	return ClassifierOptions{
+		Welch:      dsp.WelchDefaults(),
+		Thresholds: DefaultThresholds(),
+		MaxGapFrac: 0.5,
+	}
+}
+
+// Classification is the detector's verdict on one aggregated signal.
+type Classification struct {
+	// Class is the severity class.
+	Class Class
+	// Peak is the prominent (largest non-DC) spectral component.
+	Peak dsp.Peak
+	// IsDaily reports whether the prominent component is the daily bin.
+	IsDaily bool
+	// DailyAmplitude is the average peak-to-peak amplitude (ms) at the
+	// daily frequency bin, regardless of whether it is prominent. This
+	// is what Fig. 3 (bottom) distributes.
+	DailyAmplitude float64
+	// Periodogram is the underlying Welch estimate (Fig. 2).
+	Periodogram *dsp.Periodogram
+}
+
+// Classify runs the §2.3 detector on an aggregated queuing-delay signal.
+// Gap bins are linearly interpolated before the transform; signals with
+// more than MaxGapFrac gaps are rejected.
+func Classify(signal *timeseries.Series, opts ClassifierOptions) (Classification, error) {
+	if signal == nil || signal.Len() == 0 {
+		return Classification{}, errors.New("core: empty signal")
+	}
+	if opts.Thresholds == (Thresholds{}) {
+		opts.Thresholds = DefaultThresholds()
+	}
+	if err := opts.Thresholds.Validate(); err != nil {
+		return Classification{}, err
+	}
+	if opts.Welch.SegmentLength == 0 && opts.Welch.Window == dsp.Boxcar {
+		opts.Welch = dsp.WelchDefaults()
+	}
+	maxGap := opts.MaxGapFrac
+	if maxGap == 0 {
+		maxGap = 0.5
+	}
+	if frac := float64(signal.GapCount()) / float64(signal.Len()); frac > maxGap {
+		return Classification{}, fmt.Errorf("core: %.0f%% of bins are gaps (max %.0f%%)", frac*100, maxGap*100)
+	}
+	filled, err := dsp.Interpolate(signal.Values)
+	if err != nil {
+		return Classification{}, err
+	}
+	pg, err := dsp.Welch(filled, signal.SampleRatePerHour(), opts.Welch)
+	if err != nil {
+		return Classification{}, err
+	}
+	peak, ok := pg.ProminentPeak()
+	if !ok {
+		return Classification{}, errors.New("core: periodogram has no non-DC bin")
+	}
+	dailyAmp, dailyBin, ok := pg.AmplitudeAt(DailyFreq)
+	if !ok {
+		return Classification{}, errors.New("core: daily frequency outside spectrum")
+	}
+	isDaily := peak.Bin == dailyBin
+	cls := opts.Thresholds.classify(dailyAmp, isDaily)
+	return Classification{
+		Class:          cls,
+		Peak:           peak,
+		IsDaily:        isDaily,
+		DailyAmplitude: dailyAmp,
+		Periodogram:    pg,
+	}, nil
+}

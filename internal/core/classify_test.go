@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+var t0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// delaySignal builds a 15-day, 30-minute-bin queuing-delay series with a
+// daily sinusoid of the given peak-to-peak amplitude plus noise.
+func delaySignal(t *testing.T, p2p, noise float64, seed int64) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.NewSeries(t0, 30*time.Minute, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range s.Values {
+		hours := float64(i) / 2
+		v := p2p/2*(1+math.Sin(2*math.Pi*hours/24)) + math.Abs(rng.NormFloat64())*noise
+		s.Values[i] = v
+	}
+	return s
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{None: "None", Low: "Low", Mild: "Mild", Severe: "Severe", Class(9): "Class(9)"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if None.Reported() || !Severe.Reported() {
+		t.Error("Reported misbehaves")
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Thresholds{
+		{Low: 0, Mild: 1, Severe: 3},
+		{Low: 1, Mild: 0.5, Severe: 3},
+		{Low: 0.5, Mild: 1, Severe: 1},
+	}
+	for _, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("thresholds %+v should be invalid", th)
+		}
+	}
+}
+
+func TestClassifySevere(t *testing.T) {
+	s := delaySignal(t, 5.0, 0.2, 1)
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != Severe {
+		t.Fatalf("class = %v (amp %v), want Severe", c.Class, c.DailyAmplitude)
+	}
+	if !c.IsDaily {
+		t.Fatal("peak should be daily")
+	}
+	if c.DailyAmplitude < 3.5 || c.DailyAmplitude > 6.5 {
+		t.Fatalf("daily amplitude = %v, want ~5", c.DailyAmplitude)
+	}
+}
+
+func TestClassifyMild(t *testing.T) {
+	s := delaySignal(t, 1.8, 0.1, 2)
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != Mild {
+		t.Fatalf("class = %v (amp %v), want Mild", c.Class, c.DailyAmplitude)
+	}
+}
+
+func TestClassifyLow(t *testing.T) {
+	s := delaySignal(t, 0.75, 0.05, 3)
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != Low {
+		t.Fatalf("class = %v (amp %v), want Low", c.Class, c.DailyAmplitude)
+	}
+}
+
+func TestClassifyNoneFlat(t *testing.T) {
+	// ISP_DE-style: pure noise, no daily pattern.
+	s := delaySignal(t, 0, 0.15, 4)
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != None {
+		t.Fatalf("class = %v (amp %v, daily %v), want None", c.Class, c.DailyAmplitude, c.IsDaily)
+	}
+}
+
+func TestClassifyNoneSubThresholdDaily(t *testing.T) {
+	// A clear daily pattern below 0.5 ms is still None.
+	s := delaySignal(t, 0.3, 0.02, 5)
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsDaily {
+		t.Fatal("0.3 ms daily pattern should still be the prominent peak")
+	}
+	if c.Class != None {
+		t.Fatalf("class = %v, want None below threshold", c.Class)
+	}
+}
+
+func TestClassifyNonDailyPeriodicity(t *testing.T) {
+	// A strong 6-hour cycle: prominent peak is not daily, class None.
+	s, _ := timeseries.NewSeries(t0, 30*time.Minute, 720)
+	rng := rand.New(rand.NewSource(6))
+	for i := range s.Values {
+		hours := float64(i) / 2
+		s.Values[i] = 2 * (1 + math.Sin(2*math.Pi*hours/6)) / 2
+		s.Values[i] += math.Abs(rng.NormFloat64()) * 0.05
+	}
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsDaily {
+		t.Fatal("6-hour cycle must not register as daily")
+	}
+	if c.Class != None {
+		t.Fatalf("class = %v, want None", c.Class)
+	}
+	if math.Abs(c.Peak.Freq-1.0/6.0) > c.Periodogram.BinWidth()/2 {
+		t.Fatalf("peak at %v, want ~1/6 c/h", c.Peak.Freq)
+	}
+}
+
+func TestClassifyHandlesGaps(t *testing.T) {
+	s := delaySignal(t, 4.0, 0.1, 7)
+	// Punch 10% gaps.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 72; i++ {
+		s.Values[rng.Intn(len(s.Values))] = math.NaN()
+	}
+	c, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != Severe {
+		t.Fatalf("class = %v, want Severe despite gaps", c.Class)
+	}
+}
+
+func TestClassifyRejectsTooSparse(t *testing.T) {
+	s := delaySignal(t, 4.0, 0.1, 9)
+	for i := 0; i < len(s.Values)*3/5; i++ {
+		s.Values[i] = math.NaN()
+	}
+	if _, err := Classify(s, DefaultClassifierOptions()); err == nil {
+		t.Fatal("want error for >50% gaps")
+	}
+}
+
+func TestClassifyEmptyAndInvalid(t *testing.T) {
+	if _, err := Classify(nil, DefaultClassifierOptions()); err == nil {
+		t.Fatal("want error for nil signal")
+	}
+	s, _ := timeseries.NewSeries(t0, 30*time.Minute, 0)
+	if _, err := Classify(s, DefaultClassifierOptions()); err == nil {
+		t.Fatal("want error for empty signal")
+	}
+	sig := delaySignal(t, 1, 0.1, 10)
+	opts := DefaultClassifierOptions()
+	opts.Thresholds = Thresholds{Low: 3, Mild: 2, Severe: 1}
+	if _, err := Classify(sig, opts); err == nil {
+		t.Fatal("want error for unordered thresholds")
+	}
+}
+
+func TestClassifyZeroOptionsUseDefaults(t *testing.T) {
+	s := delaySignal(t, 5.0, 0.2, 11)
+	c, err := Classify(s, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != Severe {
+		t.Fatalf("class = %v with zero options", c.Class)
+	}
+}
+
+func TestClassifyThresholdBoundaries(t *testing.T) {
+	// Amplitude exactly at a threshold stays in the lower class
+	// (thresholds are strict "over").
+	th := DefaultThresholds()
+	if th.classify(0.5, true) != None {
+		t.Error("0.5 exactly should be None")
+	}
+	if th.classify(0.51, true) != Low {
+		t.Error("0.51 should be Low")
+	}
+	if th.classify(1.0, true) != Low {
+		t.Error("1.0 exactly should be Low")
+	}
+	if th.classify(3.0, true) != Mild {
+		t.Error("3.0 exactly should be Mild")
+	}
+	if th.classify(10, false) != None {
+		t.Error("non-daily is always None")
+	}
+}

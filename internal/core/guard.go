@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// §6 of the paper recommends that latency-based inference (geolocation,
+// proximity estimation, SLA verification) avoid measurements taken from
+// congestion-affected probes during peak hours. PeakHourMask implements
+// that recommendation as a reusable primitive: given an AS's aggregated
+// queuing-delay signal and its classification, it marks the bins a delay
+// study should exclude.
+
+// GuardOptions tunes PeakHourMask.
+type GuardOptions struct {
+	// DelayThresholdMs marks any bin whose aggregated queuing delay
+	// exceeds it. Zero selects half the classifier's Low threshold
+	// (0.25 ms with defaults) — inference error grows well before an AS
+	// earns a congestion report.
+	DelayThresholdMs float64
+	// PadBins extends each masked run by this many bins on both sides,
+	// covering congestion onset and drain (default 1).
+	PadBins int
+}
+
+// DefaultGuardOptions returns the recommended configuration.
+func DefaultGuardOptions() GuardOptions {
+	return GuardOptions{DelayThresholdMs: DefaultThresholds().Low / 2, PadBins: 1}
+}
+
+// PeakHourMask returns one boolean per signal bin: true means delay
+// measurements from this AS in this bin should not feed latency-based
+// inference. Uncongested ASes (class None) yield an all-false mask —
+// their fluctuations are noise, not congestion. Gap bins are masked for
+// congested ASes (absence of data during congestion windows is itself
+// suspect) and unmasked for clean ones.
+func PeakHourMask(signal *timeseries.Series, cls Classification, opts GuardOptions) ([]bool, error) {
+	if signal == nil || signal.Len() == 0 {
+		return nil, errors.New("core: empty signal")
+	}
+	mask := make([]bool, signal.Len())
+	if !cls.Class.Reported() {
+		return mask, nil
+	}
+	threshold := opts.DelayThresholdMs
+	if threshold <= 0 {
+		threshold = DefaultThresholds().Low / 2
+	}
+	for i, v := range signal.Values {
+		if math.IsNaN(v) || v > threshold {
+			mask[i] = true
+		}
+	}
+	pad := opts.PadBins
+	if pad < 0 {
+		pad = 0
+	}
+	if pad > 0 {
+		padded := make([]bool, len(mask))
+		copy(padded, mask)
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			for d := -pad; d <= pad; d++ {
+				if j := i + d; j >= 0 && j < len(padded) {
+					padded[j] = true
+				}
+			}
+		}
+		mask = padded
+	}
+	return mask, nil
+}
+
+// MaskedFraction returns the share of bins a mask excludes.
+func MaskedFraction(mask []bool) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(mask))
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+func guardSignal(t *testing.T, vals []float64) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.NewSeries(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s.Values, vals)
+	return s
+}
+
+func TestPeakHourMaskCongested(t *testing.T) {
+	s := guardSignal(t, []float64{0, 0, 0.1, 2.0, 3.0, 0.1, 0, 0})
+	cls := Classification{Class: Mild}
+	mask, err := PeakHourMask(s, cls, GuardOptions{DelayThresholdMs: 0.5, PadBins: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, false, true, true, false, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestPeakHourMaskPadding(t *testing.T) {
+	s := guardSignal(t, []float64{0, 0, 0, 2.0, 0, 0, 0})
+	cls := Classification{Class: Severe}
+	mask, err := PeakHourMask(s, cls, GuardOptions{DelayThresholdMs: 0.5, PadBins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestPeakHourMaskUncongestedAllClear(t *testing.T) {
+	s := guardSignal(t, []float64{0, 5, 0, 5}) // noisy but class None
+	mask, err := PeakHourMask(s, Classification{Class: None}, DefaultGuardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mask {
+		if m {
+			t.Fatalf("bin %d masked for an uncongested AS", i)
+		}
+	}
+}
+
+func TestPeakHourMaskGapsAreSuspect(t *testing.T) {
+	s := guardSignal(t, []float64{0, math.NaN(), 0})
+	mask, err := PeakHourMask(s, Classification{Class: Low}, GuardOptions{DelayThresholdMs: 0.5, PadBins: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask[1] {
+		t.Fatal("gap bin in a congested AS should be masked")
+	}
+}
+
+func TestPeakHourMaskDefaults(t *testing.T) {
+	// Zero options pick half the Low threshold (0.25 ms).
+	s := guardSignal(t, []float64{0.3, 0.2, 0.3, 0.1})
+	mask, err := PeakHourMask(s, Classification{Class: Low}, GuardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask[0] {
+		t.Fatal("0.3 ms should exceed the default 0.25 ms threshold")
+	}
+}
+
+func TestPeakHourMaskErrors(t *testing.T) {
+	if _, err := PeakHourMask(nil, Classification{}, GuardOptions{}); err == nil {
+		t.Fatal("want error for nil signal")
+	}
+}
+
+func TestMaskedFraction(t *testing.T) {
+	if MaskedFraction(nil) != 0 {
+		t.Fatal("empty mask")
+	}
+	if got := MaskedFraction([]bool{true, false, true, false}); got != 0.5 {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestGuardEndToEnd(t *testing.T) {
+	// A severe daily signal: the mask should cover roughly the peak
+	// hours (plus padding) and only them.
+	s, err := timeseries.NewSeries(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		hour := (i / 2) % 24
+		if hour >= 20 && hour < 23 {
+			s.Values[i] = 4
+		} else {
+			s.Values[i] = 0.05
+		}
+	}
+	cls, err := Classify(s, DefaultClassifierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Class == None {
+		t.Fatalf("class = %v", cls.Class)
+	}
+	mask, err := PeakHourMask(s, cls, DefaultGuardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := MaskedFraction(mask)
+	// 3 of 24 hours + padding ≈ 12.5%-21%.
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("masked fraction = %v", frac)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// Survey persistence: surveys serialise to a stable JSON schema so the
+// expensive measurement step can run once and the derived figures
+// (Fig. 3, Fig. 4, the headline table) re-render from disk — the same
+// role as the paper's public results server.
+
+// surveyJSON is the on-disk schema.
+type surveyJSON struct {
+	// Version guards future schema changes.
+	Version int            `json:"version"`
+	Period  string         `json:"period"`
+	Results []asResultJSON `json:"results"`
+}
+
+type asResultJSON struct {
+	ASN            uint32      `json:"asn"`
+	Probes         int         `json:"probes"`
+	Class          string      `json:"class"`
+	IsDaily        bool        `json:"daily_prominent"`
+	DailyAmplitude float64     `json:"daily_amplitude_ms"`
+	PeakFreq       float64     `json:"peak_freq_cph"`
+	PeakP2P        float64     `json:"peak_p2p_ms"`
+	Signal         *seriesJSON `json:"signal,omitempty"`
+}
+
+type seriesJSON struct {
+	StartUnix int64 `json:"start_unix"`
+	StepSec   int64 `json:"step_sec"`
+	// Values holds the bins; gaps are null.
+	Values []*float64 `json:"values"`
+}
+
+// classFromString is the inverse of Class.String.
+func classFromString(s string) (Class, error) {
+	switch s {
+	case "None":
+		return None, nil
+	case "Low":
+		return Low, nil
+	case "Mild":
+		return Mild, nil
+	case "Severe":
+		return Severe, nil
+	default:
+		return None, fmt.Errorf("core: unknown class %q", s)
+	}
+}
+
+func seriesToJSON(s *timeseries.Series) *seriesJSON {
+	if s == nil {
+		return nil
+	}
+	out := &seriesJSON{
+		StartUnix: s.Start.Unix(),
+		StepSec:   int64(s.Step / time.Second),
+		Values:    make([]*float64, len(s.Values)),
+	}
+	for i, v := range s.Values {
+		if !math.IsNaN(v) {
+			val := v
+			out.Values[i] = &val
+		}
+	}
+	return out
+}
+
+func seriesFromJSON(sj *seriesJSON) (*timeseries.Series, error) {
+	if sj == nil {
+		return nil, nil
+	}
+	s, err := timeseries.NewSeries(
+		time.Unix(sj.StartUnix, 0).UTC(),
+		time.Duration(sj.StepSec)*time.Second,
+		len(sj.Values),
+	)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range sj.Values {
+		if v != nil {
+			s.Values[i] = *v
+		}
+	}
+	return s, nil
+}
+
+// WriteJSON serialises the survey. Signals are included so figures can
+// re-render; classifications are stored as their derived markers (class,
+// daily amplitude, prominent peak) — the periodogram itself is
+// recomputable from the signal and is not stored.
+func (s *Survey) WriteJSON(w io.Writer) error {
+	out := surveyJSON{Version: 1, Period: s.Period}
+	for _, asn := range s.ASNs() {
+		r := s.Results[asn]
+		out.Results = append(out.Results, asResultJSON{
+			ASN:            uint32(r.ASN),
+			Probes:         r.Probes,
+			Class:          r.Class.String(),
+			IsDaily:        r.IsDaily,
+			DailyAmplitude: r.DailyAmplitude,
+			PeakFreq:       r.Peak.Freq,
+			PeakP2P:        r.Peak.P2P,
+			Signal:         seriesToJSON(r.Signal),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadSurveyJSON deserialises a survey written by WriteJSON.
+func ReadSurveyJSON(r io.Reader) (*Survey, error) {
+	var sj surveyJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("core: survey json: %w", err)
+	}
+	if sj.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported survey schema version %d", sj.Version)
+	}
+	if sj.Period == "" {
+		return nil, errors.New("core: survey json missing period")
+	}
+	out := NewSurvey(sj.Period)
+	for _, rj := range sj.Results {
+		cls, err := classFromString(rj.Class)
+		if err != nil {
+			return nil, err
+		}
+		signal, err := seriesFromJSON(rj.Signal)
+		if err != nil {
+			return nil, err
+		}
+		res := &ASResult{
+			ASN:    bgp.ASN(rj.ASN),
+			Probes: rj.Probes,
+			Signal: signal,
+		}
+		res.Class = cls
+		res.IsDaily = rj.IsDaily
+		res.DailyAmplitude = rj.DailyAmplitude
+		res.Peak.Freq = rj.PeakFreq
+		res.Peak.P2P = rj.PeakP2P
+		out.Add(res)
+	}
+	return out, nil
+}

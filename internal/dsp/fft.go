@@ -1,0 +1,251 @@
+// Package dsp implements the signal processing used to detect persistent
+// last-mile congestion: a fast Fourier transform, window functions, and the
+// Welch method periodogram whose y-axis is normalised so that the value at
+// a frequency bin reads directly as the average peak-to-peak amplitude (in
+// milliseconds) of the corresponding sinusoidal component — exactly the
+// normalisation used in Figure 2 of the paper.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmpty is returned when a transform is requested on an empty input.
+var ErrEmpty = errors.New("dsp: empty input")
+
+// FFT returns the discrete Fourier transform of x. The input may have any
+// length: power-of-two sizes use an iterative radix-2 Cooley-Tukey
+// transform, other sizes use Bluestein's chirp-z algorithm. The input slice
+// is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out, nil
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalised by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		var err error
+		out, err = bluestein(out, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real-valued signal and returns the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// fftRadix2 computes an in-place iterative radix-2 FFT. len(x) must be a
+// power of two. If inverse is true the conjugate transform is computed
+// (without the 1/N normalisation).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// w = exp(i*step) computed once per stage; twiddles advance by
+		// repeated multiplication, re-derived per block for accuracy.
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				angle := step * float64(k)
+				w := cmplx.Rect(1, angle)
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of x for arbitrary length via the chirp-z
+// transform, expressing the DFT as a convolution evaluated with a
+// power-of-two FFT.
+func bluestein(x []complex128, inverse bool) ([]complex128, error) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: c[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to keep the
+	// angle argument small and the trigonometry accurate for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Rect(1, angle)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		conj := cmplx.Conj(chirp[k])
+		b[k] = conj
+		if k != 0 {
+			b[m-k] = conj
+		}
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out, nil
+}
+
+// Interpolate returns a copy of xs in which interior runs of NaN are
+// replaced by linear interpolation between the nearest finite neighbours,
+// and leading/trailing NaN runs are filled with the nearest finite value.
+// It returns an error if xs contains no finite value. Delay signals contain
+// gap bins (disconnected probes); the Welch transform requires a gap-free
+// signal, so pipelines interpolate first.
+func Interpolate(xs []float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	first, last := -1, -1
+	for i, v := range out {
+		if !math.IsNaN(v) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return nil, errors.New("dsp: signal is all NaN")
+	}
+	for i := 0; i < first; i++ {
+		out[i] = out[first]
+	}
+	for i := last + 1; i < len(out); i++ {
+		out[i] = out[last]
+	}
+	i := first
+	for i <= last {
+		if !math.IsNaN(out[i]) {
+			i++
+			continue
+		}
+		// Gap run [i, j); out[i-1] and out[j] are finite.
+		j := i
+		for math.IsNaN(out[j]) {
+			j++
+		}
+		lo, hi := out[i-1], out[j]
+		span := float64(j - (i - 1))
+		for k := i; k < j; k++ {
+			frac := float64(k-(i-1)) / span
+			out[k] = lo + (hi-lo)*frac
+		}
+		i = j + 1
+	}
+	return out, nil
+}
+
+// DetrendMean subtracts the mean from xs in place.
+func DetrendMean(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	mean := sum / float64(len(xs))
+	for i := range xs {
+		xs[i] -= mean
+	}
+}
+
+// DetrendLinear removes the least-squares straight-line fit from xs in
+// place. Linear detrending suppresses spectral leakage from slow drifts
+// into the low-frequency bins where the daily component lives.
+func DetrendLinear(xs []float64) {
+	n := len(xs)
+	if n < 2 {
+		DetrendMean(xs)
+		return
+	}
+	// Least squares fit y = a + b*t with t = 0..n-1.
+	var sumT, sumY, sumTY, sumTT float64
+	for i, v := range xs {
+		t := float64(i)
+		sumT += t
+		sumY += v
+		sumTY += t * v
+		sumTT += t * t
+	}
+	fn := float64(n)
+	denom := fn*sumTT - sumT*sumT
+	if denom == 0 {
+		DetrendMean(xs)
+		return
+	}
+	b := (fn*sumTY - sumT*sumY) / denom
+	a := (sumY - b*sumT) / fn
+	for i := range xs {
+		xs[i] -= a + b*float64(i)
+	}
+}

@@ -1,0 +1,324 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// dftNaive is an O(n^2) reference DFT.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if _, err := FFT(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := IFFT(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := FFTReal(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestFFTSingle(t *testing.T) {
+	out, err := FFT([]complex128{3 + 4i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3+4i {
+		t.Fatalf("FFT of singleton = %v", out)
+	}
+}
+
+func TestFFTMatchesNaiveDFTPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randComplex(rng, n)
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dftNaive(x)
+		if !complexClose(got, want, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: FFT does not match naive DFT", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitraryN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{3, 5, 6, 7, 12, 15, 31, 48, 100, 192, 193} {
+		x := randComplex(rng, n)
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dftNaive(x)
+		if !complexClose(got, want, 1e-7*float64(n)) {
+			t.Fatalf("n=%d: Bluestein FFT does not match naive DFT", n)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5} // length 5 exercises Bluestein
+	orig := append([]complex128(nil), x...)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("FFT mutated input at %d", i)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 8, 17, 64, 100, 192} {
+		x := randComplex(rng, n)
+		spec, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !complexClose(back, x, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		x := randComplex(r, n)
+		y := randComplex(r, n)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, _ := FFT(x)
+		fy, _ := FFT(y)
+		fsum, _ := FFT(sum)
+		for i := range fsum {
+			if cmplx.Abs(fsum[i]-(a*fx[i]+fy[i])) > 1e-6*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Energy in time domain * n equals energy in frequency domain.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(120)
+		x := randComplex(rng, n)
+		spec, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+		}
+		if math.Abs(ef-et*float64(n)) > 1e-6*ef {
+			t.Fatalf("n=%d: Parseval violated: time %v freq %v", n, et*float64(n), ef)
+		}
+	}
+}
+
+func TestFFTRealKnownSpectrum(t *testing.T) {
+	// x[t] = cos(2*pi*t*k0/n) has spectrum n/2 at bins k0 and n-k0.
+	n, k0 := 32, 5
+	x := make([]float64, n)
+	for t := range x {
+		x[t] = math.Cos(2 * math.Pi * float64(t) * float64(k0) / float64(n))
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		want := 0.0
+		if k == k0 || k == n-k0 {
+			want = float64(n) / 2
+		}
+		if math.Abs(cmplx.Abs(spec[k])-want) > 1e-9 {
+			t.Fatalf("bin %d: |X| = %v, want %v", k, cmplx.Abs(spec[k]), want)
+		}
+	}
+}
+
+func TestInterpolateInterior(t *testing.T) {
+	xs := []float64{1, math.NaN(), math.NaN(), 4}
+	out, err := Interpolate(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i := range out {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestInterpolateEdges(t *testing.T) {
+	xs := []float64{math.NaN(), 2, 4, math.NaN(), math.NaN()}
+	out, err := Interpolate(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2, 4, 4, 4}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestInterpolateAllNaN(t *testing.T) {
+	if _, err := Interpolate([]float64{math.NaN(), math.NaN()}); err == nil {
+		t.Fatal("want error for all-NaN input")
+	}
+}
+
+func TestInterpolateNoGaps(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	out, err := Interpolate(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != xs[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	// Must be a copy.
+	out[0] = 99
+	if xs[0] != 1 {
+		t.Fatal("Interpolate aliased its input")
+	}
+}
+
+func TestDetrendMean(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	DetrendMean(xs)
+	sum := xs[0] + xs[1] + xs[2]
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("detrended sum = %v", sum)
+	}
+}
+
+func TestDetrendLinearRemovesRamp(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3 + 0.5*float64(i)
+	}
+	DetrendLinear(xs)
+	for i, v := range xs {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual at %d = %v", i, v)
+		}
+	}
+}
+
+func TestDetrendLinearPreservesSine(t *testing.T) {
+	// A zero-mean sine on top of a ramp should survive linear detrending
+	// nearly intact.
+	n := 200
+	xs := make([]float64, n)
+	pure := make([]float64, n)
+	for i := range xs {
+		s := math.Sin(2 * math.Pi * float64(i) / 20)
+		pure[i] = s
+		xs[i] = s + 10 + 0.3*float64(i)
+	}
+	DetrendLinear(xs)
+	for i := range xs {
+		if math.Abs(xs[i]-pure[i]) > 0.15 {
+			t.Fatalf("detrended[%d] = %v, want ~%v", i, xs[i], pure[i])
+		}
+	}
+}
+
+func TestDetrendEdgeCases(t *testing.T) {
+	DetrendMean(nil) // must not panic
+	one := []float64{5}
+	DetrendLinear(one)
+	if one[0] != 0 {
+		t.Fatalf("single-sample linear detrend = %v", one)
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFTBluestein192(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randComplex(rng, 192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

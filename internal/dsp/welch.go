@@ -1,0 +1,195 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WelchOptions configures the Welch periodogram estimate.
+type WelchOptions struct {
+	// SegmentLength is the number of samples per segment. 0 selects the
+	// default of 192 samples — 4 days of 30-minute bins, which places the
+	// daily component exactly on bin 4. Signals shorter than the segment
+	// length are analysed as a single full-length segment.
+	SegmentLength int
+	// OverlapFrac is the fraction of each segment shared with the next,
+	// in [0, 1). Negative values select the default of 0.5.
+	OverlapFrac float64
+	// Window is the segment taper. The zero value (Boxcar) is valid but
+	// the pipeline uses Hann; WelchDefaults returns Hann.
+	Window Window
+	// LinearDetrend removes a least-squares line from each segment
+	// instead of just the mean, suppressing leakage from slow drifts.
+	LinearDetrend bool
+}
+
+// WelchDefaults returns the options used by the paper pipeline: 192-sample
+// Hann-windowed segments with 50% overlap and constant detrending.
+func WelchDefaults() WelchOptions {
+	return WelchOptions{SegmentLength: 192, OverlapFrac: 0.5, Window: Hann}
+}
+
+// Periodogram is a one-sided Welch spectral estimate whose values are
+// calibrated so that a pure sinusoid of peak-to-peak amplitude X reads X at
+// its frequency bin. Frequencies are in cycles per unit of the caller's
+// sample rate (the pipeline uses cycles per hour).
+type Periodogram struct {
+	// Freqs holds the bin centre frequencies, Freqs[0] == 0 (DC).
+	Freqs []float64
+	// P2P holds the average peak-to-peak amplitude per bin, same length
+	// as Freqs.
+	P2P []float64
+	// SampleRate is the rate the signal was sampled at, in samples per
+	// unit time.
+	SampleRate float64
+	// Segments is the number of averaged segments.
+	Segments int
+	// SegmentLength is the per-segment sample count actually used.
+	SegmentLength int
+}
+
+// Welch estimates the spectrum of xs sampled at sampleRate samples per unit
+// time. xs must be free of NaN (see Interpolate) and contain at least two
+// samples.
+func Welch(xs []float64, sampleRate float64, opts WelchOptions) (*Periodogram, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, errors.New("dsp: welch needs at least 2 samples")
+	}
+	if sampleRate <= 0 || math.IsNaN(sampleRate) {
+		return nil, errors.New("dsp: sample rate must be positive")
+	}
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dsp: non-finite sample at index %d (interpolate gaps first)", i)
+		}
+	}
+	segLen := opts.SegmentLength
+	if segLen == 0 {
+		segLen = 192
+	}
+	if segLen < 2 {
+		return nil, errors.New("dsp: segment length must be >= 2")
+	}
+	if segLen > n {
+		segLen = n
+	}
+	overlap := opts.OverlapFrac
+	if overlap < 0 {
+		overlap = 0.5
+	}
+	if overlap >= 1 {
+		return nil, errors.New("dsp: overlap fraction must be < 1")
+	}
+	step := int(float64(segLen) * (1 - overlap))
+	if step < 1 {
+		step = 1
+	}
+
+	coeffs := opts.Window.Coefficients(segLen)
+	sumW := 0.0
+	for _, w := range coeffs {
+		sumW += w
+	}
+	if sumW == 0 {
+		return nil, errors.New("dsp: window has zero coherent gain")
+	}
+
+	nBins := segLen/2 + 1
+	avgPower := make([]float64, nBins)
+	seg := make([]float64, segLen)
+	segments := 0
+	for start := 0; start+segLen <= n; start += step {
+		copy(seg, xs[start:start+segLen])
+		if opts.LinearDetrend {
+			DetrendLinear(seg)
+		} else {
+			DetrendMean(seg)
+		}
+		for i := range seg {
+			seg[i] *= coeffs[i]
+		}
+		spec, err := FFTReal(seg)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < nBins; k++ {
+			re := real(spec[k])
+			im := imag(spec[k])
+			avgPower[k] += re*re + im*im
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, errors.New("dsp: no complete segment")
+	}
+
+	freqs := make([]float64, nBins)
+	p2p := make([]float64, nBins)
+	for k := 0; k < nBins; k++ {
+		freqs[k] = float64(k) * sampleRate / float64(segLen)
+		mag := math.Sqrt(avgPower[k] / float64(segments))
+		// A sinusoid of amplitude A at bin k has windowed one-sided
+		// magnitude A*sumW/2, so amplitude = 2*mag/sumW and
+		// peak-to-peak = 4*mag/sumW. DC and (for even segLen) Nyquist
+		// are not split across two bins, so they use half the factor.
+		factor := 4.0
+		if k == 0 || (segLen%2 == 0 && k == nBins-1) {
+			factor = 2.0
+		}
+		p2p[k] = factor * mag / sumW
+	}
+	return &Periodogram{
+		Freqs:         freqs,
+		P2P:           p2p,
+		SampleRate:    sampleRate,
+		Segments:      segments,
+		SegmentLength: segLen,
+	}, nil
+}
+
+// Peak describes the prominent spectral component of a periodogram.
+type Peak struct {
+	// Freq is the bin centre frequency of the peak.
+	Freq float64
+	// P2P is the average peak-to-peak amplitude at the peak.
+	P2P float64
+	// Bin is the bin index within the periodogram.
+	Bin int
+}
+
+// ProminentPeak returns the non-DC bin with the largest peak-to-peak
+// amplitude. It returns false when the periodogram has no non-DC bin.
+func (p *Periodogram) ProminentPeak() (Peak, bool) {
+	best := -1
+	for k := 1; k < len(p.P2P); k++ {
+		if best < 0 || p.P2P[k] > p.P2P[best] {
+			best = k
+		}
+	}
+	if best < 0 {
+		return Peak{}, false
+	}
+	return Peak{Freq: p.Freqs[best], P2P: p.P2P[best], Bin: best}, true
+}
+
+// AmplitudeAt returns the peak-to-peak amplitude of the bin whose centre
+// frequency is nearest to freq, along with that bin's index. It returns
+// false when the periodogram is empty or freq is outside the spectrum.
+func (p *Periodogram) AmplitudeAt(freq float64) (float64, int, bool) {
+	if len(p.Freqs) == 0 || freq < 0 || freq > p.Freqs[len(p.Freqs)-1] {
+		return 0, 0, false
+	}
+	binWidth := p.SampleRate / float64(p.SegmentLength)
+	k := int(math.Round(freq / binWidth))
+	if k >= len(p.P2P) {
+		k = len(p.P2P) - 1
+	}
+	return p.P2P[k], k, true
+}
+
+// BinWidth returns the frequency spacing between adjacent bins.
+func (p *Periodogram) BinWidth() float64 {
+	return p.SampleRate / float64(p.SegmentLength)
+}

@@ -1,0 +1,83 @@
+package dsp
+
+import "math"
+
+// Window is a taper applied to each Welch segment before transforming.
+type Window int
+
+// Supported window functions.
+const (
+	// Boxcar applies no taper. Highest leakage, narrowest main lobe.
+	Boxcar Window = iota
+	// Hann is the raised-cosine window, the default for Welch analysis
+	// and the window used by scipy.signal.welch (which the paper's
+	// published tooling relies on).
+	Hann
+	// Hamming is the optimised raised-cosine window with non-zero
+	// endpoints.
+	Hamming
+	// Blackman is a three-term cosine window with very low sidelobes.
+	Blackman
+)
+
+// String returns the lowercase conventional name of the window.
+func (w Window) String() string {
+	switch w {
+	case Boxcar:
+		return "boxcar"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients for w using the periodic
+// (DFT-even) convention, which is the correct convention for spectral
+// averaging.
+func (w Window) Coefficients(n int) []float64 {
+	c := make([]float64, n)
+	if n == 0 {
+		return c
+	}
+	if n == 1 {
+		c[0] = 1
+		return c
+	}
+	fn := float64(n)
+	for i := range c {
+		t := 2 * math.Pi * float64(i) / fn
+		switch w {
+		case Boxcar:
+			c[i] = 1
+		case Hann:
+			c[i] = 0.5 - 0.5*math.Cos(t)
+		case Hamming:
+			c[i] = 0.54 - 0.46*math.Cos(t)
+		case Blackman:
+			c[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		default:
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// CoherentGain returns the mean of the window coefficients. A sinusoid at
+// an exact bin frequency appears in the windowed DFT with magnitude
+// amplitude * n * CG / 2, so CG is what converts raw magnitudes into
+// amplitudes.
+func CoherentGain(coeffs []float64) float64 {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range coeffs {
+		sum += v
+	}
+	return sum / float64(len(coeffs))
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderAll reproduces every figure and table in paper order, sharing the
+// expensive inputs (survey set, Fig. 1 signals, Tokyo run) across the
+// figures that derive from them.
+func RenderAll(w io.Writer, o Options) error {
+	o = o.withDefaults()
+
+	fmt.Fprintln(w, "== Figures 1 & 2 ==")
+	f1, err := Fig1(o)
+	if err != nil {
+		return fmt.Errorf("fig1: %w", err)
+	}
+	if err := f1.Render(w); err != nil {
+		return err
+	}
+	f2, err := Fig2From(f1)
+	if err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	if err := f2.Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Survey (Figures 3 & 4, headline table) ==")
+	set, err := RunSurveys(o)
+	if err != nil {
+		return fmt.Errorf("surveys: %w", err)
+	}
+	if err := Fig3From(set).Render(w); err != nil {
+		return err
+	}
+	if err := Fig4From(set).Render(w); err != nil {
+		return err
+	}
+	if err := HeadlineFrom(set).Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Tokyo case study (Figures 5, 6, 7, 9) ==")
+	ts, err := RunTokyo(o)
+	if err != nil {
+		return fmt.Errorf("tokyo: %w", err)
+	}
+	if err := Fig5From(ts).Render(w); err != nil {
+		return err
+	}
+	if err := Fig6From(ts).Render(w); err != nil {
+		return err
+	}
+	if err := Fig7From(ts).Render(w); err != nil {
+		return err
+	}
+	if err := Fig9From(ts).Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Appendix B (Figure 8) ==")
+	f8, err := Fig8(o)
+	if err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	if err := f8.Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Extension: IPv6 last-mile delay ==")
+	ext, err := ExtensionV6Delay(o)
+	if err != nil {
+		return fmt.Errorf("v6delay: %w", err)
+	}
+	if err := ext.Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Extension: probe-count sensitivity (§5) ==")
+	sens, err := ProbeSensitivity(o)
+	if err != nil {
+		return fmt.Errorf("sensitivity: %w", err)
+	}
+	return sens.Render(w)
+}

@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/last-mile-congestion/lastmile/internal/core"
+)
+
+// smallOpts returns reduced-scale options so the tests stay fast while
+// exercising every experiment end to end.
+func smallOpts() Options {
+	return Options{
+		Seed:              2020,
+		WorldASes:         100,
+		FleetSize:         48,
+		CDNClients:        150,
+		TraceroutesPerBin: 4,
+	}
+}
+
+// fig1Cache shares the Fig. 1 simulation between the Fig. 1 and Fig. 2
+// tests.
+var fig1Cache struct {
+	once sync.Once
+	r    *Fig1Result
+	err  error
+}
+
+func smallFig1(t *testing.T) *Fig1Result {
+	t.Helper()
+	fig1Cache.once.Do(func() {
+		fig1Cache.r, fig1Cache.err = Fig1(smallOpts())
+	})
+	if fig1Cache.err != nil {
+		t.Fatal(fig1Cache.err)
+	}
+	return fig1Cache.r
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed != 2020 || o.WorldASes != 646 || o.FleetSize != 340 ||
+		o.CDNClients != 2000 || o.TraceroutesPerBin != 6 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestFig1ShapesMatchPaper(t *testing.T) {
+	r := smallFig1(t)
+	if len(r.DE) != 7 || len(r.US) != 7 {
+		t.Fatalf("periods = %d/%d, want 7", len(r.DE), len(r.US))
+	}
+	// ISP_DE stays flat in every period, including 2020-04. At the
+	// reduced test fleet the weekly fold carries sampling noise, so the
+	// bound is loose; Fig. 2's daily-amplitude check is the strict one.
+	for _, p := range r.DE {
+		_, p95 := profileStats(p.Weekly)
+		if p95 > 0.6 {
+			t.Fatalf("ISP_DE %s weekly p95 = %.2f, want flat", p.Period, p95)
+		}
+	}
+	// ISP_US has a visible diurnal wave that deepens in 2020-04.
+	var normalMax, covidMax float64
+	for _, p := range r.US {
+		max, _ := profileStats(p.Weekly)
+		if p.Period == "2020-04" {
+			covidMax = max
+		} else if max > normalMax {
+			normalMax = max
+		}
+	}
+	if normalMax < 0.4 || normalMax > 2 {
+		t.Fatalf("ISP_US normal max = %.2f, want a small wave", normalMax)
+	}
+	if covidMax <= normalMax {
+		t.Fatalf("ISP_US covid max %.2f should exceed normal %.2f", covidMax, normalMax)
+	}
+	// Probe counts grow over the deployment periods.
+	if r.US[0].Probes >= r.US[6].Probes {
+		t.Fatalf("probe deployment should grow: %d -> %d", r.US[0].Probes, r.US[6].Probes)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ISP_US") {
+		t.Fatal("render missing ISP_US")
+	}
+}
+
+func TestFig2AmplitudesMatchPaper(t *testing.T) {
+	r, err := Fig2From(smallFig1(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ISP_DE: daily amplitude well under the Low threshold everywhere.
+	for _, v := range r.DE {
+		if v.DailyAmplitude > 0.4 {
+			t.Fatalf("ISP_DE %s daily amp = %.2f", v.Period, v.DailyAmplitude)
+		}
+	}
+	// ISP_US: ~0.4 ms in normal periods (paper: ~0.4), >1 ms in 2020-04
+	// (paper: 1.19) — i.e. Mild under COVID, None otherwise.
+	for _, v := range r.US {
+		if v.Period == "2020-04" {
+			if v.DailyAmplitude < 1 {
+				t.Fatalf("ISP_US 2020-04 amp = %.2f, want > 1", v.DailyAmplitude)
+			}
+			continue
+		}
+		if v.DailyAmplitude < 0.2 || v.DailyAmplitude > 0.7 {
+			t.Fatalf("ISP_US %s amp = %.2f, want ~0.4", v.Period, v.DailyAmplitude)
+		}
+		if !v.DailyIsProminent {
+			t.Fatalf("ISP_US %s daily should be prominent", v.Period)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runSmallSurveys is shared by the survey-derived tests (cached: the
+// seven surveys are the most expensive fixture in the suite).
+var surveyCache struct {
+	once sync.Once
+	set  *SurveySet
+	err  error
+}
+
+func runSmallSurveys(t *testing.T) *SurveySet {
+	t.Helper()
+	surveyCache.once.Do(func() {
+		surveyCache.set, surveyCache.err = RunSurveys(smallOpts())
+	})
+	if surveyCache.err != nil {
+		t.Fatal(surveyCache.err)
+	}
+	return surveyCache.set
+}
+
+func TestSurveySetShape(t *testing.T) {
+	set := runSmallSurveys(t)
+	if len(set.Longitudinal) != 6 || set.COVID == nil {
+		t.Fatalf("surveys = %d + covid %v", len(set.Longitudinal), set.COVID != nil)
+	}
+	if len(set.AllSurveys()) != 7 {
+		t.Fatal("AllSurveys should include COVID")
+	}
+	if set.septemberSurvey().Period != "2019-09" {
+		t.Fatalf("september = %s", set.septemberSurvey().Period)
+	}
+	// COVID reported count clearly exceeds September's.
+	sep := len(set.septemberSurvey().ReportedASes())
+	apr := len(set.COVID.ReportedASes())
+	if apr <= sep {
+		t.Fatalf("COVID reported %d should exceed normal %d", apr, sep)
+	}
+	growth := float64(apr-sep) / float64(sep)
+	if growth < 0.2 || growth > 1.2 {
+		t.Fatalf("COVID growth = %.0f%%, want broadly +55%%", growth*100)
+	}
+}
+
+func TestFig3FromSurveys(t *testing.T) {
+	set := runSmallSurveys(t)
+	r := Fig3From(set)
+	if len(r.Periods) != 6 {
+		t.Fatalf("periods = %d", len(r.Periods))
+	}
+	// The majority of daily amplitudes sit below 0.5 ms.
+	if r.AmpSplit[0] < 0.4 {
+		t.Fatalf("amp split = %v, want most below 0.5 ms", r.AmpSplit)
+	}
+	total := r.AmpSplit[0] + r.AmpSplit[1] + r.AmpSplit[2] + r.AmpSplit[3]
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("amp split sums to %v", total)
+	}
+	// Daily is the majority prominent component, but not universal.
+	if r.DailyProminentFrac < 0.4 || r.DailyProminentFrac > 0.99 {
+		t.Fatalf("daily prominent frac = %.2f", r.DailyProminentFrac)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4FromSurveys(t *testing.T) {
+	set := runSmallSurveys(t)
+	r := Fig4From(set)
+	if r.Sep2019.Period != "2019-09" || r.Apr2020.Period != "2020-04" {
+		t.Fatalf("periods = %s / %s", r.Sep2019.Period, r.Apr2020.Period)
+	}
+	var monitored int
+	for b := range r.Sep2019.Totals {
+		monitored += r.Sep2019.Totals[b]
+	}
+	if monitored != set.septemberSurvey().Len() {
+		t.Fatalf("bucket totals %d != survey size %d", monitored, set.septemberSurvey().Len())
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadlineFromSurveys(t *testing.T) {
+	set := runSmallSurveys(t)
+	r := HeadlineFrom(set)
+	if r.MonitoredASes == 0 || r.AvgReported <= 0 {
+		t.Fatalf("headline = %+v", r)
+	}
+	if r.ReportedApr2020 <= r.ReportedSep2019 {
+		t.Fatal("COVID must increase reported count")
+	}
+	if r.CountriesReported == 0 || r.CountriesSevere == 0 {
+		t.Fatal("geography breakdown empty")
+	}
+	if r.JPSevereShare <= 0 {
+		t.Fatal("JP severe share should be positive")
+	}
+	if r.JPTop10Reported < r.JPTop10Constant {
+		t.Fatal("reported-at-least-once cannot be below constantly-reported")
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "COVID increase") {
+		t.Fatal("render missing COVID row")
+	}
+}
+
+// runSmallTokyo is shared by the Tokyo-derived tests (cached).
+var tokyoCache struct {
+	once sync.Once
+	ts   *TokyoSet
+	err  error
+}
+
+func runSmallTokyo(t *testing.T) *TokyoSet {
+	t.Helper()
+	tokyoCache.once.Do(func() {
+		tokyoCache.ts, tokyoCache.err = RunTokyo(smallOpts())
+	})
+	if tokyoCache.err != nil {
+		t.Fatal(tokyoCache.err)
+	}
+	return tokyoCache.ts
+}
+
+func TestFig5Shapes(t *testing.T) {
+	ts := runSmallTokyo(t)
+	r := Fig5From(ts)
+	if r.ProbesA != 8 || r.ProbesB != 5 || r.ProbesC != 8 {
+		t.Fatalf("probes = %d/%d/%d", r.ProbesA, r.ProbesB, r.ProbesC)
+	}
+	maxA := maxOf(r.DelayA.Values)
+	maxC := maxOf(r.DelayC.Values)
+	if maxA < 2 {
+		t.Fatalf("ISP_A max delay = %.2f, want clear congestion", maxA)
+	}
+	if maxC > maxA/5 {
+		t.Fatalf("ISP_C max %.2f not an order below ISP_A %.2f", maxC, maxA)
+	}
+	if len(r.DailyMaxA) != 8 {
+		t.Fatalf("daily maxima = %d, want 8 days", len(r.DailyMaxA))
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	ts := runSmallTokyo(t)
+	r := Fig6From(ts)
+	// ISP_A broadband halves at peak; mobile does not; ISP_C flat.
+	dropA := peakHourDrop(r.Broadband["ISP_A"])
+	dropAMob := peakHourDrop(r.Mobile["ISP_A"])
+	dropC := peakHourDrop(r.Broadband["ISP_C"])
+	if dropA < 0.3 {
+		t.Fatalf("ISP_A broadband peak drop = %.0f%%, want ~half", dropA*100)
+	}
+	if dropAMob > 0.15 {
+		t.Fatalf("ISP_A mobile peak drop = %.0f%%, want stable", dropAMob*100)
+	}
+	if dropC > 0.15 {
+		t.Fatalf("ISP_C peak drop = %.0f%%, want stable", dropC*100)
+	}
+	if ts.UniqueIPs == 0 {
+		t.Fatal("no unique client IPs counted")
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig7Correlations(t *testing.T) {
+	ts := runSmallTokyo(t)
+	r := Fig7From(ts)
+	// Paper: ISP_A rho = -0.6, ISP_C rho = 0.0. Shape: strongly negative
+	// vs near zero.
+	if r.RhoA > -0.4 {
+		t.Fatalf("ISP_A rho = %.2f, want strongly negative", r.RhoA)
+	}
+	if math.Abs(r.RhoC) > 0.35 {
+		t.Fatalf("ISP_C rho = %.2f, want near zero", r.RhoC)
+	}
+	if len(r.PointsA) == 0 || len(r.PointsC) == 0 {
+		t.Fatal("no scatter points")
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9IPv6BypassesCongestion(t *testing.T) {
+	ts := runSmallTokyo(t)
+	r := Fig9From(ts)
+	dropV4 := peakHourDrop(r.V4["ISP_A"])
+	dropV6 := peakHourDrop(r.V6["ISP_A"])
+	if dropV4 < 0.3 {
+		t.Fatalf("ISP_A IPv4 drop = %.0f%%", dropV4*100)
+	}
+	if dropV6 > 0.15 {
+		t.Fatalf("ISP_A IPv6 drop = %.0f%%, want IPoE bypass", dropV6*100)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8AnchorVsProbes(t *testing.T) {
+	o := smallOpts()
+	r, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Periods) != 4 {
+		t.Fatalf("periods = %d, want 4 (App. B)", len(r.Periods))
+	}
+	for i := range r.Periods {
+		probeMax := maxOf(r.ProbeWeekly[i])
+		anchorMax := maxOf(r.AnchorWeekly[i])
+		if probeMax < 1.5 {
+			t.Fatalf("%s: probes max %.2f, want congestion", r.Periods[i], probeMax)
+		}
+		if anchorMax > 1 {
+			t.Fatalf("%s: anchor max %.2f, want flat", r.Periods[i], anchorMax)
+		}
+	}
+	// 2020-04 has the extra probe of the figure legend.
+	if r.ProbeCounts[3] <= r.ProbeCounts[0]-1 {
+		t.Fatalf("probe counts = %v", r.ProbeCounts)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := smallOpts()
+
+	agg, err := AblationAggregation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Variants[0].Value >= agg.Variants[1].Value {
+		t.Fatalf("median %v should be far below mean %v", agg.Variants[0].Value, agg.Variants[1].Value)
+	}
+
+	bin, err := AblationBinWidth(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Variants[0].Value >= bin.Variants[1].Value {
+		t.Fatalf("30-min bins %v should suppress transients vs 5-min %v",
+			bin.Variants[0].Value, bin.Variants[1].Value)
+	}
+
+	est, err := AblationEstimator(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Variants[0].Value <= est.Variants[1].Value {
+		t.Fatalf("pairwise %v should exceed min-diff %v (queue visibility)",
+			est.Variants[0].Value, est.Variants[1].Value)
+	}
+
+	disc, err := AblationDiscard(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Variants[0].Value*5 >= disc.Variants[1].Value {
+		t.Fatalf("filter on %v should be far below filter off %v",
+			disc.Variants[0].Value, disc.Variants[1].Value)
+	}
+
+	welch, err := AblationWelch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welch.Variants[0].Value <= 0 {
+		t.Fatal("welch RMSE should be positive")
+	}
+
+	th, err := AblationThresholds(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(th.Variants[0].Value > th.Variants[1].Value && th.Variants[1].Value > th.Variants[2].Value) {
+		t.Fatalf("threshold sweep should be monotone: %v", th.Variants)
+	}
+
+	var buf bytes.Buffer
+	for _, r := range []*AblationResult{agg, bin, est, disc, welch, th} {
+		if err := r.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClassCoherenceWithCore(t *testing.T) {
+	// Survey results must use exactly the §2.3 classes.
+	set := runSmallSurveys(t)
+	for _, res := range set.COVID.Results {
+		if res.Class < core.None || res.Class > core.Severe {
+			t.Fatalf("unexpected class %v", res.Class)
+		}
+	}
+}
+
+func maxOf(vals []float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) && v > m {
+			m = v
+		}
+	}
+	return m
+}

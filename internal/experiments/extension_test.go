@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExtensionV6Delay(t *testing.T) {
+	r, err := ExtensionV6Delay(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.V4Amp < 3 {
+		t.Fatalf("IPv4 (PPPoE) daily amp = %.2f, want Severe-range", r.V4Amp)
+	}
+	if r.V6Amp > 0.5 {
+		t.Fatalf("IPv6 (IPoE) daily amp = %.2f, want flat", r.V6Amp)
+	}
+	if r.V4.Len() != r.V6.Len() {
+		t.Fatal("family signals misaligned")
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurveyPersistRoundTrip(t *testing.T) {
+	set := runSmallSurveys(t)
+	dir := filepath.Join(t.TempDir(), "runs")
+	if err := SaveSurveys(set, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Seven files on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("files = %d, want 7", len(entries))
+	}
+	loaded, err := LoadSurveys(smallOpts(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Longitudinal) != 6 || loaded.COVID == nil {
+		t.Fatal("loaded set incomplete")
+	}
+	// The derived artefacts agree between live and loaded sets.
+	liveHeadline := HeadlineFrom(set)
+	loadedHeadline := HeadlineFrom(loaded)
+	if liveHeadline.ReportedSep2019 != loadedHeadline.ReportedSep2019 ||
+		liveHeadline.ReportedApr2020 != loadedHeadline.ReportedApr2020 ||
+		liveHeadline.CountriesSevere != loadedHeadline.CountriesSevere {
+		t.Fatalf("headline differs after round trip:\nlive   %+v\nloaded %+v",
+			liveHeadline, loadedHeadline)
+	}
+	liveFig3 := Fig3From(set)
+	loadedFig3 := Fig3From(loaded)
+	if liveFig3.AmpSplit != loadedFig3.AmpSplit {
+		t.Fatalf("fig3 split differs: %v vs %v", liveFig3.AmpSplit, loadedFig3.AmpSplit)
+	}
+}
+
+func TestLoadSurveysMissingDir(t *testing.T) {
+	if _, err := LoadSurveys(smallOpts(), filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func TestProbeSensitivity(t *testing.T) {
+	r, err := ProbeSensitivity(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FleetSizes) != 5 || r.FleetSizes[0] != 3 || r.FleetSizes[4] != 40 {
+		t.Fatalf("fleet sizes = %v", r.FleetSizes)
+	}
+	// CI width at the largest fleet must be tighter than at the
+	// smallest — the quantified §5 limitation.
+	small := r.Results[0]
+	large := r.Results[len(r.Results)-1]
+	smallWidth := small.CI90High - small.CI90Low
+	largeWidth := large.CI90High - large.CI90Low
+	if largeWidth >= smallWidth {
+		t.Fatalf("CI width should shrink with probes: %d probes %.2f vs %d probes %.2f",
+			r.FleetSizes[0], smallWidth, r.FleetSizes[4], largeWidth)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSVAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	ts := runSmallTokyo(t)
+	set := runSmallSurveys(t)
+	f1 := smallFig1(t)
+	f2, err := Fig2From(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := []interface{ WriteCSV(string) error }{
+		f1, f2,
+		Fig3From(set), Fig4From(set),
+		Fig5From(ts), Fig6From(ts), Fig7From(ts), Fig9From(ts),
+		f8,
+	}
+	for i, w := range writers {
+		if err := w.WriteCSV(dir); err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 fig1 + 14 fig2 + 12 fig3 + 1 fig4 + 3 fig5 + 6 fig6 + 2 fig7 +
+	// 4 fig8 + 6 fig9 = 62 files.
+	if len(entries) < 50 {
+		t.Fatalf("csv files = %d, want the full figure set", len(entries))
+	}
+	// Spot check one file has a header and rows.
+	data, err := os.ReadFile(filepath.Join(dir, "fig4_breakdown.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 11 { // header + 2 periods x 5 buckets
+		t.Fatalf("fig4 rows = %d", len(lines))
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "github.com/last-mile-congestion/lastmile/internal/bgp"
+
+// toASN converts a literal AS number.
+func toASN(n uint32) bgp.ASN { return bgp.ASN(n) }

@@ -1,0 +1,34 @@
+// Package ioutil provides small I/O helpers shared by the data codecs —
+// currently transparent gzip detection, since real Atlas dumps and CDN
+// access logs ship compressed.
+package ioutil
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// gzipMagic is the two-byte gzip header.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// MaybeGzip wraps r with a gzip reader when the stream starts with the
+// gzip magic, and returns it unchanged (buffered) otherwise. Callers read
+// from the returned reader in both cases.
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Streams shorter than two bytes cannot be gzip; hand back
+		// whatever is there (including an empty stream).
+		return br, nil //nolint:nilerr // short input is data, not failure
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	return zr, nil
+}

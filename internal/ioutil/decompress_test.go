@@ -1,0 +1,55 @@
+package ioutil
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMaybeGzipPassthrough(t *testing.T) {
+	out, err := MaybeGzip(strings.NewReader("plain text"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(out)
+	if err != nil || string(data) != "plain text" {
+		t.Fatalf("data = %q, err = %v", data, err)
+	}
+}
+
+func TestMaybeGzipDecompresses(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("compressed payload"))
+	zw.Close()
+	out, err := MaybeGzip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(out)
+	if err != nil || string(data) != "compressed payload" {
+		t.Fatalf("data = %q, err = %v", data, err)
+	}
+}
+
+func TestMaybeGzipShortAndEmpty(t *testing.T) {
+	for _, in := range []string{"", "x"} {
+		out, err := MaybeGzip(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(out)
+		if string(data) != in {
+			t.Fatalf("data = %q, want %q", data, in)
+		}
+	}
+}
+
+func TestMaybeGzipBrokenHeader(t *testing.T) {
+	// Gzip magic followed by garbage: the gzip reader must reject it.
+	if _, err := MaybeGzip(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00})); err == nil {
+		t.Fatal("want error for corrupt gzip stream")
+	}
+}

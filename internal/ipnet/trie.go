@@ -1,0 +1,205 @@
+package ipnet
+
+import (
+	"errors"
+	"net/netip"
+)
+
+// Trie is a binary radix trie mapping IP prefixes to values, supporting
+// longest-prefix match. It stores IPv4 and IPv6 prefixes in separate roots
+// so families never shadow one another. The zero value is an empty trie
+// ready for use. Trie is not safe for concurrent mutation; concurrent
+// lookups without writers are safe.
+type Trie[V any] struct {
+	v4, v6 *trieNode[V]
+	size   int
+}
+
+type trieNode[V any] struct {
+	children [2]*trieNode[V]
+	value    V
+	hasValue bool
+}
+
+// ErrNoMatch is returned by Lookup when no inserted prefix contains the
+// address.
+var ErrNoMatch = errors.New("ipnet: no matching prefix")
+
+// Insert adds prefix with the given value, replacing any value previously
+// stored at exactly that prefix. It returns an error for invalid prefixes.
+func (t *Trie[V]) Insert(prefix netip.Prefix, value V) error {
+	if !prefix.IsValid() {
+		return errors.New("ipnet: invalid prefix")
+	}
+	prefix = prefix.Masked()
+	root := &t.v6
+	if prefix.Addr().Is4() {
+		root = &t.v4
+	}
+	if *root == nil {
+		*root = &trieNode[V]{}
+	}
+	node := *root
+	addr := prefix.Addr()
+	for i := 0; i < prefix.Bits(); i++ {
+		b := AddrBit(addr, i)
+		if node.children[b] == nil {
+			node.children[b] = &trieNode[V]{}
+		}
+		node = node.children[b]
+	}
+	if !node.hasValue {
+		t.size++
+	}
+	node.value = value
+	node.hasValue = true
+	return nil
+}
+
+// Lookup returns the value of the longest inserted prefix containing addr.
+func (t *Trie[V]) Lookup(addr netip.Addr) (V, error) {
+	var zero V
+	if !addr.IsValid() {
+		return zero, errors.New("ipnet: invalid address")
+	}
+	addr = addr.Unmap()
+	node := t.v6
+	if addr.Is4() {
+		node = t.v4
+	}
+	var best V
+	found := false
+	for i := 0; node != nil; i++ {
+		if node.hasValue {
+			best = node.value
+			found = true
+		}
+		if i >= addr.BitLen() {
+			break
+		}
+		node = node.children[AddrBit(addr, i)]
+	}
+	if !found {
+		return zero, ErrNoMatch
+	}
+	return best, nil
+}
+
+// LookupPrefix returns both the longest matching prefix and its value.
+func (t *Trie[V]) LookupPrefix(addr netip.Addr) (netip.Prefix, V, error) {
+	var zero V
+	if !addr.IsValid() {
+		return netip.Prefix{}, zero, errors.New("ipnet: invalid address")
+	}
+	addr = addr.Unmap()
+	node := t.v6
+	if addr.Is4() {
+		node = t.v4
+	}
+	var best V
+	bestLen := -1
+	for i := 0; node != nil; i++ {
+		if node.hasValue {
+			best = node.value
+			bestLen = i
+		}
+		if i >= addr.BitLen() {
+			break
+		}
+		node = node.children[AddrBit(addr, i)]
+	}
+	if bestLen < 0 {
+		return netip.Prefix{}, zero, ErrNoMatch
+	}
+	p, err := addr.Prefix(bestLen)
+	if err != nil {
+		return netip.Prefix{}, zero, err
+	}
+	return p, best, nil
+}
+
+// Contains reports whether any inserted prefix contains addr.
+func (t *Trie[V]) Contains(addr netip.Addr) bool {
+	_, err := t.Lookup(addr)
+	return err == nil
+}
+
+// Len returns the number of distinct prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Walk visits every stored (prefix, value) pair in depth-first order. The
+// visit function returns false to stop early. Walk reconstructs prefixes
+// from trie paths, so it allocates; it is intended for dumps and tests, not
+// hot paths.
+func (t *Trie[V]) Walk(visit func(netip.Prefix, V) bool) {
+	var walk func(node *trieNode[V], bits []byte, isV4 bool) bool
+	walk = func(node *trieNode[V], bits []byte, isV4 bool) bool {
+		if node == nil {
+			return true
+		}
+		if node.hasValue {
+			p := prefixFromBits(bits, isV4)
+			if !visit(p, node.value) {
+				return false
+			}
+		}
+		for b := 0; b < 2; b++ {
+			if !walk(node.children[b], append(bits, byte(b)), isV4) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(t.v4, nil, true) {
+		return
+	}
+	walk(t.v6, nil, false)
+}
+
+func prefixFromBits(bits []byte, isV4 bool) netip.Prefix {
+	if isV4 {
+		var b [4]byte
+		for i, bit := range bits {
+			if bit == 1 {
+				b[i/8] |= 1 << (7 - i%8)
+			}
+		}
+		return netip.PrefixFrom(netip.AddrFrom4(b), len(bits))
+	}
+	var b [16]byte
+	for i, bit := range bits {
+		if bit == 1 {
+			b[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return netip.PrefixFrom(netip.AddrFrom16(b), len(bits))
+}
+
+// PrefixSet is a set of prefixes with membership testing by
+// longest-prefix match. The CDN pipeline uses it to drop mobile prefixes.
+// The zero value is an empty set ready for use.
+type PrefixSet struct {
+	trie Trie[struct{}]
+}
+
+// Add inserts a prefix into the set.
+func (s *PrefixSet) Add(prefix netip.Prefix) error {
+	return s.trie.Insert(prefix, struct{}{})
+}
+
+// AddString parses and inserts a prefix in CIDR notation.
+func (s *PrefixSet) AddString(cidr string) error {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return err
+	}
+	return s.Add(p)
+}
+
+// Contains reports whether addr is covered by any prefix in the set.
+func (s *PrefixSet) Contains(addr netip.Addr) bool {
+	return s.trie.Contains(addr)
+}
+
+// Len returns the number of prefixes in the set.
+func (s *PrefixSet) Len() int { return s.trie.Len() }

@@ -1,0 +1,150 @@
+package isp
+
+import (
+	"net/netip"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+)
+
+// Severity tunes an archetype's congestion level in [0, 1]: 0 produces a
+// comfortably provisioned network, 1 a severely oversubscribed one. The
+// scenario generator draws severities to shape the survey's amplitude
+// distribution (Fig. 3, bottom).
+type Severity float64
+
+// clamp returns s limited to [0, 1].
+func (s Severity) clamp() float64 {
+	v := float64(s)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// legacyQueue is the queue model of the carrier's shared PPPoE gear:
+// shallow buffers on ossified hardware — delay saturates in the
+// millisecond range while throughput collapses with oversubscription,
+// which is exactly the combination §4 measures (delays of a few ms
+// alongside halved throughput).
+func legacyQueue() netsim.QueueModel {
+	return netsim.QueueModel{ServiceMs: 0.12, BufferMs: 6.5, JitterFrac: 0.3}
+}
+
+// modernQueue is the queue model of well-run FTTH/IPoE gear.
+func modernQueue() netsim.QueueModel {
+	return netsim.QueueModel{ServiceMs: 0.06, BufferMs: 5, JitterFrac: 0.25}
+}
+
+// cellularQueue models LTE schedulers: more jitter, moderate buffers.
+func cellularQueue() netsim.QueueModel {
+	return netsim.QueueModel{ServiceMs: 0.3, BufferMs: 15, JitterFrac: 0.5}
+}
+
+// NewLegacyPPPoE returns a broadband network riding the carrier's legacy
+// PPPoE infrastructure. Severity 0 leaves the gear with headroom;
+// severity 1 drives peak offered load to ≈2.4× capacity, reproducing the
+// halved peak-hour throughput of the paper's ISP_A/ISP_B.
+func NewLegacyPPPoE(name string, asn bgp.ASN, cc string, utcOffset float64, prefix, prefixV6 netip.Prefix, sev Severity) Config {
+	s := sev.clamp()
+	return Config{
+		Name: name, ASN: asn, CC: cc,
+		Tech: LegacyPPPoE, Service: Broadband,
+		UTCOffset: utcOffset,
+		Prefix:    prefix, PrefixV6: prefixV6,
+		Devices:  24,
+		BaseUtil: 0.25 + 0.1*s,
+		// Severity sweeps the mean peak utilisation from a healthy 0.7
+		// to a severely oversubscribed 2.4.
+		PeakUtilMean:     0.7 + 1.7*s,
+		PeakUtilSpread:   0.1 + 0.35*s,
+		Queue:            legacyQueue(),
+		AccessMbps:       52,
+		EdgeBaseMs:       1.8,
+		COVIDSensitivity: 1,
+		V6BypassesLegacy: true,
+	}
+}
+
+// NewOwnFiber returns a broadband network with its own fiber plant (the
+// paper's ISP_C): stable delay and throughput at all hours.
+func NewOwnFiber(name string, asn bgp.ASN, cc string, utcOffset float64, prefix, prefixV6 netip.Prefix) Config {
+	return Config{
+		Name: name, ASN: asn, CC: cc,
+		Tech: OwnFiber, Service: Broadband,
+		UTCOffset: utcOffset,
+		Prefix:    prefix, PrefixV6: prefixV6,
+		Devices:          24,
+		BaseUtil:         0.2,
+		PeakUtilMean:     0.62,
+		PeakUtilSpread:   0.08,
+		Queue:            modernQueue(),
+		AccessMbps:       55,
+		EdgeBaseMs:       1.5,
+		COVIDSensitivity: 1,
+	}
+}
+
+// NewEyeball returns a generic broadband eyeball network whose severity
+// sets where it lands in the survey's amplitude distribution. Severity 0
+// gives an ISP_DE-style flat network; mid severities give the small
+// diurnal wiggle of ISP_US; high severities produce Severe reports.
+func NewEyeball(name string, asn bgp.ASN, cc string, utcOffset float64, prefix, prefixV6 netip.Prefix, sev Severity) Config {
+	s := sev.clamp()
+	return Config{
+		Name: name, ASN: asn, CC: cc,
+		Tech: Cable, Service: Broadband,
+		UTCOffset: utcOffset,
+		Prefix:    prefix, PrefixV6: prefixV6,
+		Devices:          24,
+		BaseUtil:         0.22 + 0.08*s,
+		PeakUtilMean:     0.55 + 1.1*s,
+		PeakUtilSpread:   0.04 + 0.1*s,
+		Queue:            legacyQueue(),
+		AccessMbps:       48,
+		EdgeBaseMs:       2.2,
+		COVIDSensitivity: 1,
+	}
+}
+
+// NewCellular returns a mobile network: consistent performance (the
+// paper's mobile baselines hold >20 Mbit/s medians at all hours) at a
+// lower access rate.
+func NewCellular(name string, asn bgp.ASN, cc string, utcOffset float64, prefix, prefixV6 netip.Prefix) Config {
+	return Config{
+		Name: name, ASN: asn, CC: cc,
+		Tech: LTE, Service: Mobile,
+		UTCOffset: utcOffset,
+		Prefix:    prefix, PrefixV6: prefixV6,
+		Devices:          32,
+		BaseUtil:         0.3,
+		PeakUtilMean:     0.7,
+		PeakUtilSpread:   0.1,
+		Queue:            cellularQueue(),
+		AccessMbps:       30,
+		EdgeBaseMs:       14,
+		COVIDSensitivity: 0.3,
+	}
+}
+
+// NewDatacenter returns hosting-style connectivity for Atlas anchors: no
+// shared last-mile bottleneck at all (Appendix B's flat anchor signal).
+func NewDatacenter(name string, asn bgp.ASN, cc string, utcOffset float64, prefix, prefixV6 netip.Prefix) Config {
+	return Config{
+		Name: name, ASN: asn, CC: cc,
+		Tech: Datacenter, Service: Hosting,
+		UTCOffset: utcOffset,
+		Prefix:    prefix, PrefixV6: prefixV6,
+		Devices:          4,
+		BaseUtil:         0.1,
+		PeakUtilMean:     0.3,
+		PeakUtilSpread:   0.05,
+		Queue:            netsim.QueueModel{ServiceMs: 0.02, BufferMs: 2, JitterFrac: 0.2},
+		AccessMbps:       1000,
+		EdgeBaseMs:       0.5,
+		COVIDSensitivity: 0,
+	}
+}

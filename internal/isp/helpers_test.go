@@ -1,0 +1,12 @@
+package isp
+
+import (
+	"math/rand"
+
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+)
+
+// newTestRand returns a deterministic PRNG for tests.
+func newTestRand() *rand.Rand {
+	return netsim.DerivedRand(12345)
+}

@@ -1,0 +1,227 @@
+package isp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	v4p = netip.MustParsePrefix("20.1.0.0/16")
+	v6p = netip.MustParsePrefix("2001:db8:1::/48")
+)
+
+func TestTechnologyStrings(t *testing.T) {
+	names := map[Technology]string{
+		LegacyPPPoE: "legacy-pppoe", IPoE: "ipoe", OwnFiber: "own-fiber",
+		Cable: "cable", LTE: "lte", Datacenter: "datacenter", Technology(99): "unknown",
+	}
+	for tech, want := range names {
+		if tech.String() != want {
+			t.Errorf("%d = %q, want %q", tech, tech.String(), want)
+		}
+	}
+	snames := map[Service]string{Broadband: "broadband", Mobile: "mobile", Hosting: "hosting", Service(9): "unknown"}
+	for s, want := range snames {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name should fail")
+	}
+	bad = good
+	bad.Devices = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero devices should fail")
+	}
+	bad = good
+	bad.Prefix = netip.Prefix{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid prefix should fail")
+	}
+	bad = good
+	bad.PeakUtilMean = 0.1
+	bad.BaseUtil = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("peak below base should fail")
+	}
+	bad = good
+	bad.AccessMbps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero access rate should fail")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New should propagate validation errors")
+	}
+}
+
+func TestSeverityClamp(t *testing.T) {
+	if Severity(-1).clamp() != 0 || Severity(2).clamp() != 1 || Severity(0.5).clamp() != 0.5 {
+		t.Fatal("clamp misbehaves")
+	}
+}
+
+func TestBuildDevicesDeterministic(t *testing.T) {
+	n, err := New(NewLegacyPPPoE("ISP_A", 100, "JP", 9, v4p, v6p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.BuildDevices(42, 0)
+	b := n.BuildDevices(42, 0)
+	if len(a.V4) != n.Devices {
+		t.Fatalf("devices = %d", len(a.V4))
+	}
+	for i := range a.V4 {
+		if a.V4[i].PeakUtilization != b.V4[i].PeakUtilization {
+			t.Fatal("device build not deterministic")
+		}
+	}
+	c := n.BuildDevices(43, 0)
+	same := true
+	for i := range a.V4 {
+		if a.V4[i].PeakUtilization != c.V4[i].PeakUtilization {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seed should change devices")
+	}
+}
+
+func TestLegacySevereIsCongestedAtPeak(t *testing.T) {
+	n, _ := New(NewLegacyPPPoE("ISP_A", 100, "JP", 9, v4p, v6p, 0.9))
+	ds := n.BuildDevices(1, 0)
+	peak := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC) // 21:00 JST
+	off := time.Date(2019, 9, 19, 19, 0, 0, 0, time.UTC)  // 04:00 JST
+	congested := 0
+	offSum := 0.0
+	for _, d := range ds.V4 {
+		if d.MeanQueueDelayAt(peak) > 2 {
+			congested++
+		}
+		offSum += d.MeanQueueDelayAt(off)
+	}
+	if congested < len(ds.V4)/2 {
+		t.Fatalf("only %d/%d devices congested at peak", congested, len(ds.V4))
+	}
+	if offAvg := offSum / float64(len(ds.V4)); offAvg > 1.5 {
+		t.Fatalf("mean off-peak delay %v too high", offAvg)
+	}
+}
+
+func TestOwnFiberStaysFlat(t *testing.T) {
+	n, _ := New(NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p))
+	ds := n.BuildDevices(1, 0)
+	peak := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	for _, d := range ds.V4 {
+		if delay := d.MeanQueueDelayAt(peak); delay > 0.6 {
+			t.Fatalf("fiber device peak delay = %v ms", delay)
+		}
+	}
+}
+
+func TestV6BypassesLegacy(t *testing.T) {
+	n, _ := New(NewLegacyPPPoE("ISP_A", 100, "JP", 9, v4p, v6p, 1))
+	ds := n.BuildDevices(1, 0)
+	peak := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	v4Delay, v6Delay := 0.0, 0.0
+	for i := range ds.V4 {
+		v4Delay += ds.V4[i].MeanQueueDelayAt(peak)
+	}
+	for i := range ds.V6 {
+		v6Delay += ds.V6[i].MeanQueueDelayAt(peak)
+	}
+	v4Delay /= float64(len(ds.V4))
+	v6Delay /= float64(len(ds.V6))
+	if v6Delay >= v4Delay/3 {
+		t.Fatalf("v6 (IPoE) delay %v should be far below v4 (PPPoE) %v", v6Delay, v4Delay)
+	}
+}
+
+func TestNoBypassSharesDevices(t *testing.T) {
+	n, _ := New(NewOwnFiber("ISP_C", 300, "JP", 9, v4p, v6p))
+	ds := n.BuildDevices(1, 0)
+	if &ds.V4[0] == &ds.V6[0] {
+		// Slices share backing: device pointers must be identical.
+	}
+	for i := range ds.V4 {
+		if ds.V4[i] != ds.V6[i] {
+			t.Fatal("non-bypass network should share v4/v6 devices")
+		}
+	}
+}
+
+func TestCOVIDShiftRaisesUtilization(t *testing.T) {
+	n, _ := New(NewEyeball("ISP_US", 200, "US", -5, v4p, v6p, 0.35))
+	normal := n.BuildDevices(1, 0)
+	locked := n.BuildDevices(1, 1)
+	var nSum, lSum float64
+	for i := range normal.V4 {
+		nSum += normal.V4[i].PeakUtilization
+		lSum += locked.V4[i].PeakUtilization
+	}
+	if lSum <= nSum*1.05 {
+		t.Fatalf("lockdown peak util %v should clearly exceed normal %v", lSum, nSum)
+	}
+}
+
+func TestDatacenterInsensitiveToCOVID(t *testing.T) {
+	n, _ := New(NewDatacenter("anchor-net", 500, "JP", 9, v4p, v6p))
+	normal := n.BuildDevices(1, 0)
+	locked := n.BuildDevices(1, 1)
+	for i := range normal.V4 {
+		if normal.V4[i].PeakUtilization != locked.V4[i].PeakUtilization {
+			t.Fatal("datacenter should ignore lockdown")
+		}
+	}
+}
+
+func TestDeviceFor(t *testing.T) {
+	n, _ := New(NewLegacyPPPoE("ISP_A", 100, "JP", 9, v4p, v6p, 0.5))
+	ds := n.BuildDevices(1, 0)
+	d1 := ds.DeviceFor(7, 4)
+	d2 := ds.DeviceFor(7, 4)
+	if d1 == nil || d1 != d2 {
+		t.Fatal("DeviceFor must be deterministic")
+	}
+	// Different subscribers spread across devices.
+	seen := map[*struct{}]bool{}
+	_ = seen
+	distinct := map[uint64]bool{}
+	for id := uint64(0); id < 200; id++ {
+		distinct[ds.DeviceFor(id, 4).ID] = true
+	}
+	if len(distinct) < n.Devices/2 {
+		t.Fatalf("only %d distinct devices used", len(distinct))
+	}
+	empty := &DeviceSet{}
+	if empty.DeviceFor(1, 4) != nil {
+		t.Fatal("empty set should return nil")
+	}
+}
+
+func TestCellularConsistentThroughput(t *testing.T) {
+	n, _ := New(NewCellular("ISP_B_mobile", 201, "JP", 9, v4p, v6p))
+	ds := n.BuildDevices(1, 0)
+	rng := ds.V4[0]
+	peak := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	sum := 0.0
+	cnt := 200
+	r := newTestRand()
+	for i := 0; i < cnt; i++ {
+		sum += rng.ThroughputAt(peak, r)
+	}
+	if avg := sum / float64(cnt); avg < 20 {
+		t.Fatalf("cellular peak median throughput %v < 20 Mbps", avg)
+	}
+}

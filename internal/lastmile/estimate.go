@@ -1,0 +1,134 @@
+// Package lastmile implements the paper's last-mile RTT estimation (§2.1):
+// locating the segment between the last private hop and the first public
+// hop of a traceroute, producing the 9 pairwise RTT samples per traceroute,
+// binning medians per probe per 30-minute window, and aggregating probe
+// populations into the queuing-delay signals the classifier consumes.
+package lastmile
+
+import (
+	"math"
+	"net/netip"
+
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// Segment identifies the last-mile boundary within one traceroute: the
+// last hop answering with a private address before the first hop answering
+// with a public one.
+type Segment struct {
+	// PrivateHop and PublicHop are indices into Result.Hops.
+	PrivateHop, PublicHop int
+	// PrivateAddr and PublicAddr are the reply addresses at those hops.
+	PrivateAddr, PublicAddr netip.Addr
+}
+
+// FindSegment locates the last-mile segment of r. It returns false when
+// the traceroute has no public hop, no private hop before the first public
+// hop (e.g. a datacenter host with a public address on its LAN), or no
+// usable RTTs on either side.
+func FindSegment(r *traceroute.Result) (Segment, bool) {
+	pub := -1
+	var pubAddr netip.Addr
+	for i, h := range r.Hops {
+		for _, rep := range h.Replies {
+			if !rep.Timeout && ipnet.IsPublic(rep.From) {
+				pub = i
+				pubAddr = rep.From
+				break
+			}
+		}
+		if pub >= 0 {
+			break
+		}
+	}
+	if pub <= 0 {
+		// Either no public hop at all, or the very first hop is public
+		// and there is no private segment to measure.
+		return Segment{}, false
+	}
+	for i := pub - 1; i >= 0; i-- {
+		for _, rep := range r.Hops[i].Replies {
+			if !rep.Timeout && ipnet.IsPrivate(rep.From) {
+				return Segment{
+					PrivateHop:  i,
+					PublicHop:   pub,
+					PrivateAddr: rep.From,
+					PublicAddr:  pubAddr,
+				}, true
+			}
+		}
+	}
+	return Segment{}, false
+}
+
+// PairwiseSamples returns the pairwise RTT differences (public − private)
+// between every usable reply pair of the segment's two hops — up to 9
+// samples per traceroute when both hops answered all three probes (§2.1).
+// Negative differences (reply reordering, noise) are kept; the per-bin
+// median downstream is the paper's noise filter.
+func PairwiseSamples(r *traceroute.Result, seg Segment) []float64 {
+	priv := usableRTTs(r, seg.PrivateHop, seg.PrivateAddr)
+	pub := usableRTTs(r, seg.PublicHop, seg.PublicAddr)
+	if len(priv) == 0 || len(pub) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(priv)*len(pub))
+	for _, p := range pub {
+		for _, q := range priv {
+			out = append(out, p-q)
+		}
+	}
+	return out
+}
+
+// usableRTTs returns the finite RTTs of hop i restricted to replies from
+// addr, so that a hop with mixed responders (load-balanced paths) does not
+// blend RTTs of different routers into one estimate.
+func usableRTTs(r *traceroute.Result, i int, addr netip.Addr) []float64 {
+	if i < 0 || i >= len(r.Hops) {
+		return nil
+	}
+	var out []float64
+	for _, rep := range r.Hops[i].Replies {
+		if rep.Timeout || rep.From != addr {
+			continue
+		}
+		if math.IsNaN(rep.RTT) || math.IsInf(rep.RTT, 0) || rep.RTT <= 0 {
+			continue
+		}
+		out = append(out, rep.RTT)
+	}
+	return out
+}
+
+// PairwiseFromRTTs returns the pairwise differences (public − private)
+// between two sets of raw RTT observations — the same arithmetic as
+// PairwiseSamples, exposed for simulation fast paths that draw hop RTTs
+// without materialising a full traceroute result.
+func PairwiseFromRTTs(privRTTs, pubRTTs []float64) []float64 {
+	if len(privRTTs) == 0 || len(pubRTTs) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(privRTTs)*len(pubRTTs))
+	for _, p := range pubRTTs {
+		for _, q := range privRTTs {
+			out = append(out, p-q)
+		}
+	}
+	return out
+}
+
+// Estimate extracts the last-mile samples of r in one call. ok is false
+// when the traceroute carries no usable last-mile information.
+func Estimate(r *traceroute.Result) (samples []float64, seg Segment, ok bool) {
+	seg, ok = FindSegment(r)
+	if !ok {
+		return nil, Segment{}, false
+	}
+	samples = PairwiseSamples(r, seg)
+	if len(samples) == 0 {
+		return nil, Segment{}, false
+	}
+	return samples, seg, true
+}

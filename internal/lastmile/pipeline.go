@@ -1,0 +1,118 @@
+package lastmile
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// DefaultBinWidth is the paper's 30-minute aggregation window,
+// deliberately large to filter transient congestion (§2).
+const DefaultBinWidth = 30 * time.Minute
+
+// DefaultMinTraceroutes is the paper's per-bin sanity threshold: bins with
+// fewer than 3 traceroutes are discarded as probe-disconnection artefacts.
+const DefaultMinTraceroutes = 3
+
+// ProbeAccumulator gathers one probe's last-mile samples over a
+// measurement period and produces its median-RTT series.
+type ProbeAccumulator struct {
+	ProbeID int
+	binner  *timeseries.MedianBinner
+	// Traceroutes counts results that contributed samples.
+	Traceroutes int
+	// Skipped counts results with no usable last-mile segment.
+	Skipped int
+}
+
+// NewProbeAccumulator creates an accumulator for one probe covering
+// [start, end) with the given bin width (use DefaultBinWidth).
+func NewProbeAccumulator(probeID int, start, end time.Time, binWidth time.Duration) (*ProbeAccumulator, error) {
+	b, err := timeseries.NewMedianBinner(start, end, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &ProbeAccumulator{ProbeID: probeID, binner: b}, nil
+}
+
+// Add processes one traceroute result. Results from other probes are an
+// error; results without a last-mile segment are counted and skipped.
+func (a *ProbeAccumulator) Add(r *traceroute.Result) error {
+	if r.ProbeID != a.ProbeID {
+		return fmt.Errorf("lastmile: result from probe %d fed to accumulator for probe %d", r.ProbeID, a.ProbeID)
+	}
+	samples, _, ok := Estimate(r)
+	if !ok {
+		a.Skipped++
+		return nil
+	}
+	a.binner.AddGroup(r.Timestamp, samples)
+	a.Traceroutes++
+	return nil
+}
+
+// AddSamples records one traceroute's worth of pre-computed last-mile
+// samples at time t. Simulation fast paths use it to feed the accumulator
+// without materialising traceroute results; the samples must come from a
+// single traceroute so the per-bin traceroute count stays meaningful.
+func (a *ProbeAccumulator) AddSamples(t time.Time, samples []float64) {
+	if len(samples) == 0 {
+		a.Skipped++
+		return
+	}
+	a.binner.AddGroup(t, samples)
+	a.Traceroutes++
+}
+
+// MedianRTT returns the per-bin median last-mile RTT series, with bins
+// holding fewer than minTraceroutes traceroutes marked as gaps. Pass
+// DefaultMinTraceroutes for the paper's behaviour.
+func (a *ProbeAccumulator) MedianRTT(minTraceroutes int) *timeseries.Series {
+	return a.binner.Series(minTraceroutes)
+}
+
+// QueuingDelay returns the probe's queuing-delay estimate: the median-RTT
+// series with its per-period minimum subtracted, pinning the quietest bin
+// at zero (§2.1). It returns an error when the probe produced no usable
+// bins at all.
+func (a *ProbeAccumulator) QueuingDelay(minTraceroutes int) (*timeseries.Series, error) {
+	return timeseries.SubtractMin(a.MedianRTT(minTraceroutes))
+}
+
+// AggregateQueuingDelay combines per-probe queuing-delay series into the
+// population signal: the per-bin median across probes. Probes whose
+// series could not be computed should already have been dropped by the
+// caller. This is the signal Figures 1, 5, and 8 plot and the classifier
+// transforms.
+func AggregateQueuingDelay(perProbe []*timeseries.Series) (*timeseries.Series, error) {
+	if len(perProbe) == 0 {
+		return nil, errors.New("lastmile: no probes in population")
+	}
+	return timeseries.AggregateMedian(perProbe)
+}
+
+// PopulationDelay runs the full §2.1 pipeline over a set of probe
+// accumulators: per-probe queuing delays, then the population median.
+// Probes without any usable bin are skipped; the number of probes that
+// contributed is returned. It is an error if no probe contributes.
+func PopulationDelay(accs []*ProbeAccumulator, minTraceroutes int) (*timeseries.Series, int, error) {
+	var perProbe []*timeseries.Series
+	for _, a := range accs {
+		qd, err := a.QueuingDelay(minTraceroutes)
+		if err != nil {
+			continue
+		}
+		perProbe = append(perProbe, qd)
+	}
+	if len(perProbe) == 0 {
+		return nil, 0, errors.New("lastmile: no probe produced a usable delay series")
+	}
+	agg, err := AggregateQueuingDelay(perProbe)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agg, len(perProbe), nil
+}

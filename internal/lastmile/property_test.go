@@ -1,0 +1,127 @@
+package lastmile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: PairwiseFromRTTs always yields len(priv)*len(pub) samples and
+// each sample equals some pub minus some priv.
+func TestPairwiseFromRTTsProperty(t *testing.T) {
+	f := func(privRaw, pubRaw []float64) bool {
+		priv := clampFinite(privRaw, 3)
+		pub := clampFinite(pubRaw, 3)
+		samples := PairwiseFromRTTs(priv, pub)
+		if len(priv) == 0 || len(pub) == 0 {
+			return samples == nil
+		}
+		if len(samples) != len(priv)*len(pub) {
+			return false
+		}
+		k := 0
+		for _, p := range pub {
+			for _, q := range priv {
+				if samples[k] != p-q {
+					return false
+				}
+				k++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting every RTT by a constant shifts every pairwise sample
+// by zero — the estimator is invariant to absolute RTT level, which is
+// what makes it a *last-mile* estimator rather than an end-to-end one.
+func TestPairwiseShiftInvariance(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		priv := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		pub := []float64{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()}
+		base := PairwiseFromRTTs(priv, pub)
+		sp := make([]float64, 3)
+		su := make([]float64, 3)
+		for i := range priv {
+			sp[i] = priv[i] + shift
+			su[i] = pub[i] + shift
+		}
+		shifted := PairwiseFromRTTs(sp, su)
+		for i := range base {
+			if math.Abs(base[i]-shifted[i]) > 1e-6*math.Max(1, math.Abs(shift)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clampFinite keeps up to n finite values.
+func clampFinite(xs []float64, n int) []float64 {
+	var out []float64
+	for _, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Property: a probe accumulator fed k>=3 identical-delta traceroutes per
+// bin recovers exactly that delta in every bin, for any delta > 0.
+func TestAccumulatorRecoversDelta(t *testing.T) {
+	start := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	f := func(rawDelta float64, rawBins uint8) bool {
+		delta := math.Mod(math.Abs(rawDelta), 50)
+		if math.IsNaN(delta) || delta == 0 {
+			delta = 1
+		}
+		bins := int(rawBins%20) + 1
+		end := start.Add(time.Duration(bins) * DefaultBinWidth)
+		acc, err := NewProbeAccumulator(1, start, end, DefaultBinWidth)
+		if err != nil {
+			return false
+		}
+		for b := 0; b < bins; b++ {
+			for k := 0; k < 3; k++ {
+				ts := start.Add(time.Duration(b)*DefaultBinWidth + time.Duration(k)*time.Minute)
+				acc.AddSamples(ts, []float64{delta, delta, delta})
+			}
+		}
+		med := acc.MedianRTT(DefaultMinTraceroutes)
+		for _, v := range med.Values {
+			if math.Abs(v-delta) > 1e-12 {
+				return false
+			}
+		}
+		qd, err := acc.QueuingDelay(DefaultMinTraceroutes)
+		if err != nil {
+			return false
+		}
+		// Constant series: queuing delay is exactly zero everywhere.
+		for _, v := range qd.Values {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

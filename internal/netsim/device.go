@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// AggregationDevice is a shared element of the access network — in
+// Japan's legacy infrastructure, the carrier's PPPoE termination gear; in
+// a cable plant, a CMTS; in a well-provisioned FTTH network, an OLT with
+// headroom. Many subscribers share it, so its utilisation follows the
+// population's diurnal demand, and when it saturates every subscriber
+// behind it sees queuing delay and reduced throughput at once.
+type AggregationDevice struct {
+	// ID distinguishes devices for deterministic per-device randomness.
+	ID uint64
+	// Profile is the demand curve of the subscriber population.
+	Profile DiurnalProfile
+	// BaseUtilization is the utilisation floor from always-on traffic
+	// (transit, background sync), applied when demand alone would drop
+	// below it.
+	BaseUtilization float64
+	// PeakUtilization is the utilisation when demand is 1. Values above
+	// 1 model under-provisioned devices that saturate at peak — the
+	// paper's persistently congested legacy gear.
+	PeakUtilization float64
+	// Queue converts utilisation into delay.
+	Queue QueueModel
+	// AccessMbps is the per-subscriber access rate cap in Mbit/s (the
+	// technology limit net of framing overhead).
+	AccessMbps float64
+}
+
+// UtilizationAt returns the device utilisation at time t: offered load is
+// proportional to population demand (utilisation reaches PeakUtilization
+// when demand is 1), floored at BaseUtilization.
+func (d *AggregationDevice) UtilizationAt(t time.Time) float64 {
+	u := d.PeakUtilization * d.Profile.DemandAt(t)
+	if u < d.BaseUtilization {
+		u = d.BaseUtilization
+	}
+	return u
+}
+
+// MeanQueueDelayAt returns the expected queuing delay in ms at time t.
+func (d *AggregationDevice) MeanQueueDelayAt(t time.Time) float64 {
+	return d.Queue.MeanDelay(d.UtilizationAt(t))
+}
+
+// QueueDelayAt draws one queuing-delay observation in ms at time t,
+// implementing DelaySource.
+func (d *AggregationDevice) QueueDelayAt(t time.Time, rng *rand.Rand) float64 {
+	return d.Queue.SampleDelay(d.UtilizationAt(t), rng)
+}
+
+// LossProbAt returns the probe-reply loss probability at time t,
+// implementing DelaySource.
+func (d *AggregationDevice) LossProbAt(t time.Time) float64 {
+	return d.Queue.LossProb(d.UtilizationAt(t))
+}
+
+// ThroughputAt draws a single-flow throughput observation in Mbit/s at
+// time t: the access rate scaled by the device's fair share when
+// oversubscribed. This is the rate a CDN object download behind this
+// device achieves.
+func (d *AggregationDevice) ThroughputAt(t time.Time, rng *rand.Rand) float64 {
+	rho := d.UtilizationAt(t)
+	thr := d.AccessMbps
+	if rho > 1 {
+		// Overloaded session-termination gear degrades superlinearly:
+		// beyond the fair share (1/rho), loss-recovery and the
+		// device's CPU soft path eat into goodput. A cubic decline
+		// reproduces the field observation that motivates the paper's
+		// §4 — a few milliseconds of (shallow-buffer) queueing delay
+		// coinciding with halved throughput. Floored at 1/8 of the
+		// access rate.
+		thr = d.AccessMbps / (rho * rho * rho)
+		if floor := d.AccessMbps / 8; thr < floor {
+			thr = floor
+		}
+	}
+	// Per-download variation: server pacing, TCP dynamics, home Wi-Fi.
+	noise := Lognormal(rng, 0, 0.18)
+	thr *= noise
+	if thr > d.AccessMbps*1.05 {
+		thr = d.AccessMbps * 1.05
+	}
+	if thr < 0.1 {
+		thr = 0.1
+	}
+	return thr
+}
+
+// ConstantDelay is a DelaySource adding a fixed mean delay with small
+// jitter — used for backbone segments that never congest in the model.
+type ConstantDelay struct {
+	// MeanMs is the mean added delay in milliseconds.
+	MeanMs float64
+	// JitterMs is the standard deviation of the added delay.
+	JitterMs float64
+}
+
+// QueueDelayAt implements DelaySource.
+func (c ConstantDelay) QueueDelayAt(_ time.Time, rng *rand.Rand) float64 {
+	return TruncNormal(rng, c.MeanMs, c.JitterMs, 0)
+}
+
+// LossProbAt implements DelaySource: backbone segments do not lose
+// traceroute replies in this model.
+func (c ConstantDelay) LossProbAt(time.Time) float64 { return 0 }

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1MatchesClosedForm(t *testing.T) {
+	// The event-driven queue must agree with the analytic waiting time
+	// W = S·ρ/(1−ρ) the whole pipeline is built on.
+	const serviceMs = 0.12
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.9} {
+		rng := DerivedRand(0xee, uint64(rho*100))
+		res, err := SimulateMM1(rho, serviceMs, 0, 400_000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serviceMs * rho / (1 - rho)
+		if math.Abs(res.MeanWaitMs-want)/want > 0.1 {
+			t.Fatalf("rho=%v: simulated wait %.4f ms, closed form %.4f ms", rho, res.MeanWaitMs, want)
+		}
+		if res.DropFrac != 0 {
+			t.Fatalf("rho=%v: drops without a buffer bound", rho)
+		}
+	}
+}
+
+func TestMM1WaitGrowsWithRho(t *testing.T) {
+	prev := -1.0
+	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
+		rng := DerivedRand(0xef, uint64(rho*100))
+		res, err := SimulateMM1(rho, 0.12, 0, 100_000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanWaitMs <= prev {
+			t.Fatalf("wait not monotone at rho=%v", rho)
+		}
+		prev = res.MeanWaitMs
+	}
+}
+
+func TestMM1OverloadNeedsBuffer(t *testing.T) {
+	if _, err := SimulateMM1(1.2, 0.12, 0, 1000, DerivedRand(1)); err == nil {
+		t.Fatal("overload without buffer must error")
+	}
+	res, err := SimulateMM1(1.2, 0.12, 6.5, 200_000, DerivedRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overloaded finite buffer: drops occur and admitted packets wait
+	// close to the buffer depth — the regime the analytic model pins at
+	// BufferMs.
+	if res.DropFrac <= 0 {
+		t.Fatal("overload must drop packets")
+	}
+	if res.MeanWaitMs < 0.5*6.5 || res.MeanWaitMs > 1.5*6.5 {
+		t.Fatalf("overload mean wait %.2f ms, want near the 6.5 ms buffer", res.MeanWaitMs)
+	}
+}
+
+func TestMM1P95ExceedsMean(t *testing.T) {
+	res, err := SimulateMM1(0.7, 0.12, 0, 100_000, DerivedRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P95WaitMs <= res.MeanWaitMs {
+		t.Fatalf("p95 %.4f should exceed mean %.4f for an exponential-tailed queue", res.P95WaitMs, res.MeanWaitMs)
+	}
+}
+
+func TestMM1Errors(t *testing.T) {
+	rng := DerivedRand(4)
+	if _, err := SimulateMM1(0, 0.1, 0, 100, rng); err == nil {
+		t.Fatal("rho=0 must error")
+	}
+	if _, err := SimulateMM1(0.5, 0, 0, 100, rng); err == nil {
+		t.Fatal("service=0 must error")
+	}
+	if _, err := SimulateMM1(0.5, 0.1, 0, 0, rng); err == nil {
+		t.Fatal("packets=0 must error")
+	}
+}
+
+func TestMM1ValidatesQueueModel(t *testing.T) {
+	// End-to-end consistency: QueueModel.MeanDelay must track the
+	// event-driven reference across the utilisation range used by the
+	// access-network model.
+	q := QueueModel{ServiceMs: 0.12, BufferMs: 1000}
+	for _, rho := range []float64{0.4, 0.6, 0.8} {
+		rng := DerivedRand(0xf0, uint64(rho*100))
+		res, err := SimulateMM1(rho, q.ServiceMs, 0, 300_000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := q.MeanDelay(rho)
+		if math.Abs(res.MeanWaitMs-analytic)/analytic > 0.1 {
+			t.Fatalf("rho=%v: event-driven %.4f vs analytic %.4f", rho, res.MeanWaitMs, analytic)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package netsim
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestMixSeedDeterministic(t *testing.T) {
+	a := MixSeed(1, 2, 3)
+	b := MixSeed(1, 2, 3)
+	if a != b {
+		t.Fatal("MixSeed not deterministic")
+	}
+	if MixSeed(1, 2, 3) == MixSeed(1, 2, 4) {
+		t.Fatal("MixSeed ignores final part")
+	}
+	if MixSeed(1, 2) == MixSeed(2, 1) {
+		t.Fatal("MixSeed should be order-sensitive")
+	}
+}
+
+func TestDerivedRandReproducible(t *testing.T) {
+	r1 := DerivedRand(42, 7)
+	r2 := DerivedRand(42, 7)
+	for i := 0; i < 10; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("DerivedRand streams differ")
+		}
+	}
+}
+
+func TestTruncNormal(t *testing.T) {
+	rng := DerivedRand(1)
+	for i := 0; i < 1000; i++ {
+		v := TruncNormal(rng, 0.1, 1.0, 0)
+		if v < 0 {
+			t.Fatalf("TruncNormal produced %v < 0", v)
+		}
+	}
+}
+
+func TestLognormalPositive(t *testing.T) {
+	rng := DerivedRand(2)
+	for i := 0; i < 1000; i++ {
+		if v := Lognormal(rng, 0, 0.5); v <= 0 {
+			t.Fatalf("Lognormal produced %v", v)
+		}
+	}
+}
+
+func TestDemandBounds(t *testing.T) {
+	p := DefaultProfile(9)
+	start := time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 7*48; i++ {
+		tm := start.Add(time.Duration(i) * 30 * time.Minute)
+		d := p.DemandAt(tm)
+		if d < 0 || d > 1 {
+			t.Fatalf("demand at %v = %v out of [0,1]", tm, d)
+		}
+	}
+}
+
+func TestDemandPeaksInEvening(t *testing.T) {
+	p := DefaultProfile(9) // Japan
+	day := time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	// 21:00 JST = 12:00 UTC; 04:00 JST = 19:00 UTC previous day.
+	evening := p.DemandAt(day.Add(12 * time.Hour))
+	night := p.DemandAt(day.Add(19 * time.Hour))
+	if evening <= night {
+		t.Fatalf("evening %v should exceed night %v", evening, night)
+	}
+	if evening < 0.9 {
+		t.Fatalf("evening peak = %v, want near 1", evening)
+	}
+	if night > 0.5 {
+		t.Fatalf("night trough = %v, want near base", night)
+	}
+}
+
+func TestDemandUTCOffsetShiftsPeak(t *testing.T) {
+	jp := DefaultProfile(9)
+	us := DefaultProfile(-5)
+	day := time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	// 12:00 UTC is 21:00 JST but 07:00 EST.
+	at := day.Add(12 * time.Hour)
+	if jp.DemandAt(at) <= us.DemandAt(at) {
+		t.Fatal("JST evening should out-demand EST morning at 12:00 UTC")
+	}
+}
+
+func TestDemandWeekendBoost(t *testing.T) {
+	p := DefaultProfile(0)
+	// 14:00 local on a Saturday vs the preceding Thursday.
+	sat := time.Date(2019, 9, 21, 14, 0, 0, 0, time.UTC)
+	thu := time.Date(2019, 9, 19, 14, 0, 0, 0, time.UTC)
+	if p.DemandAt(sat) <= p.DemandAt(thu) {
+		t.Fatalf("weekend daytime %v should exceed weekday %v",
+			p.DemandAt(sat), p.DemandAt(thu))
+	}
+}
+
+func TestCOVIDShiftWidensDaytime(t *testing.T) {
+	normal := DefaultProfile(0)
+	locked := DefaultProfile(0)
+	locked.COVIDShift = 1
+	// 11:00 local on a weekday.
+	at := time.Date(2020, 4, 8, 11, 0, 0, 0, time.UTC)
+	if locked.DemandAt(at) <= normal.DemandAt(at)+0.1 {
+		t.Fatalf("lockdown daytime %v should clearly exceed normal %v",
+			locked.DemandAt(at), normal.DemandAt(at))
+	}
+	// Night demand stays comparable.
+	night := time.Date(2020, 4, 8, 4, 0, 0, 0, time.UTC)
+	if math.Abs(locked.DemandAt(night)-normal.DemandAt(night)) > 0.15 {
+		t.Fatalf("lockdown night %v vs normal %v diverge too much",
+			locked.DemandAt(night), normal.DemandAt(night))
+	}
+}
+
+func TestPeakDemandWindow(t *testing.T) {
+	p := DefaultProfile(0)
+	peak := time.Date(2019, 9, 19, 21, 0, 0, 0, time.UTC)
+	offPeak := time.Date(2019, 9, 19, 9, 0, 0, 0, time.UTC)
+	if !p.PeakDemandWindow(peak) {
+		t.Fatal("21:00 should be in peak window")
+	}
+	if p.PeakDemandWindow(offPeak) {
+		t.Fatal("09:00 should not be in peak window")
+	}
+}
+
+func TestQueueMeanDelayShape(t *testing.T) {
+	q := DefaultQueue()
+	if q.MeanDelay(0) != 0 {
+		t.Fatal("zero utilisation should have zero delay")
+	}
+	if q.MeanDelay(-1) != 0 {
+		t.Fatal("negative utilisation should have zero delay")
+	}
+	// Monotone increasing up to the buffer cap.
+	prev := -1.0
+	for rho := 0.0; rho <= 2.0; rho += 0.05 {
+		d := q.MeanDelay(rho)
+		if d < prev-1e-12 {
+			t.Fatalf("delay not monotone at rho=%v", rho)
+		}
+		prev = d
+	}
+	if q.MeanDelay(1.0) != q.BufferMs {
+		t.Fatalf("saturated delay = %v, want buffer %v", q.MeanDelay(1.0), q.BufferMs)
+	}
+	if q.MeanDelay(5.0) != q.BufferMs {
+		t.Fatal("overload delay must stay pinned at buffer")
+	}
+}
+
+func TestQueueMM1Curve(t *testing.T) {
+	q := QueueModel{ServiceMs: 1, BufferMs: 1000}
+	if got := q.MeanDelay(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MM1 at 0.5 = %v, want 1", got)
+	}
+	if got := q.MeanDelay(0.9); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("MM1 at 0.9 = %v, want 9", got)
+	}
+}
+
+func TestSampleDelayBounds(t *testing.T) {
+	q := DefaultQueue()
+	rng := DerivedRand(3)
+	for i := 0; i < 2000; i++ {
+		d := q.SampleDelay(1.5, rng)
+		if d < 0 || d > 2*q.BufferMs {
+			t.Fatalf("sample %v out of bounds", d)
+		}
+	}
+	if q.SampleDelay(0, rng) != 0 {
+		t.Fatal("zero utilisation must sample zero delay")
+	}
+}
+
+func TestSampleDelayMeanTracksModel(t *testing.T) {
+	q := QueueModel{ServiceMs: 0.5, BufferMs: 100, JitterFrac: 0.3}
+	rng := DerivedRand(4)
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += q.SampleDelay(0.8, rng)
+	}
+	got := sum / float64(n)
+	want := q.MeanDelay(0.8)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("sampled mean %v, model mean %v", got, want)
+	}
+}
+
+func TestLossProb(t *testing.T) {
+	q := DefaultQueue()
+	if q.LossProb(0.5) != 0 {
+		t.Fatal("no loss below saturation")
+	}
+	if q.LossProb(1.2) <= 0 {
+		t.Fatal("overload must lose packets")
+	}
+	if q.LossProb(10) > 0.5 {
+		t.Fatal("loss capped at 0.5")
+	}
+}
+
+func newTestDevice(peak float64) *AggregationDevice {
+	return &AggregationDevice{
+		ID:              1,
+		Profile:         DefaultProfile(9),
+		BaseUtilization: 0.3,
+		PeakUtilization: peak,
+		Queue:           DefaultQueue(),
+		AccessMbps:      50,
+	}
+}
+
+func TestDeviceUtilizationRange(t *testing.T) {
+	d := newTestDevice(1.4)
+	start := time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 48; i++ {
+		u := d.UtilizationAt(start.Add(time.Duration(i) * 30 * time.Minute))
+		if u < d.BaseUtilization-1e-9 || u > d.PeakUtilization+1e-9 {
+			t.Fatalf("utilisation %v outside [base, peak]", u)
+		}
+	}
+}
+
+func TestDeviceCongestionIsDiurnal(t *testing.T) {
+	d := newTestDevice(1.3)
+	// 21:00 JST = 12:00 UTC; 04:00 JST = 19:00 UTC.
+	peakT := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	offT := time.Date(2019, 9, 19, 19, 0, 0, 0, time.UTC)
+	if d.MeanQueueDelayAt(peakT) <= d.MeanQueueDelayAt(offT) {
+		t.Fatal("peak delay should exceed off-peak delay")
+	}
+	if d.MeanQueueDelayAt(peakT) < 5 {
+		t.Fatalf("overloaded device peak delay = %v ms, want substantial",
+			d.MeanQueueDelayAt(peakT))
+	}
+}
+
+func TestHealthyDeviceStaysFlat(t *testing.T) {
+	d := newTestDevice(0.6) // well provisioned
+	start := time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 48; i++ {
+		delay := d.MeanQueueDelayAt(start.Add(time.Duration(i) * 30 * time.Minute))
+		if delay > 0.5 {
+			t.Fatalf("healthy device delay = %v ms at bin %d", delay, i)
+		}
+	}
+}
+
+func TestDeviceThroughputDropsAtPeak(t *testing.T) {
+	d := newTestDevice(2.2)
+	rng := DerivedRand(5)
+	peakT := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC) // 21:00 JST
+	offT := time.Date(2019, 9, 19, 19, 0, 0, 0, time.UTC)  // 04:00 JST
+	var peakSum, offSum float64
+	n := 500
+	for i := 0; i < n; i++ {
+		peakSum += d.ThroughputAt(peakT, rng)
+		offSum += d.ThroughputAt(offT, rng)
+	}
+	peakAvg, offAvg := peakSum/float64(n), offSum/float64(n)
+	if peakAvg > offAvg*0.6 {
+		t.Fatalf("peak throughput %v vs off-peak %v: want < half-ish", peakAvg, offAvg)
+	}
+	if offAvg < 35 {
+		t.Fatalf("off-peak throughput %v, want near access rate", offAvg)
+	}
+}
+
+func TestThroughputBounds(t *testing.T) {
+	d := newTestDevice(2.5)
+	rng := DerivedRand(6)
+	for i := 0; i < 2000; i++ {
+		tm := time.Date(2019, 9, 19, i%24, 0, 0, 0, time.UTC)
+		thr := d.ThroughputAt(tm, rng)
+		if thr < 0.1 || thr > d.AccessMbps*1.05 {
+			t.Fatalf("throughput %v out of bounds", thr)
+		}
+	}
+}
+
+func TestConstantDelay(t *testing.T) {
+	c := ConstantDelay{MeanMs: 2, JitterMs: 0.1}
+	rng := DerivedRand(7)
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		d := c.QueueDelayAt(time.Now(), rng)
+		if d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+		sum += d
+	}
+	if avg := sum / 1000; math.Abs(avg-2) > 0.05 {
+		t.Fatalf("avg = %v, want ~2", avg)
+	}
+	if c.LossProbAt(time.Now()) != 0 {
+		t.Fatal("constant segments never drop")
+	}
+}
+
+func buildTestRoute(dev *AggregationDevice) *Route {
+	return &Route{Hops: []Hop{
+		{Addr: netip.MustParseAddr("192.168.1.1"), BaseMs: 0.4, NoiseMs: 0.05},
+		{Addr: netip.MustParseAddr("203.0.113.1"), BaseMs: 1.2, NoiseMs: 0.1,
+			Sources: []DelaySource{dev}},
+		{Addr: netip.MustParseAddr("203.0.113.254"), BaseMs: 2.0, NoiseMs: 0.1},
+	}}
+}
+
+func TestRouteRTTMonotoneInHops(t *testing.T) {
+	dev := newTestDevice(0.5)
+	r := buildTestRoute(dev)
+	rng := DerivedRand(8)
+	at := time.Date(2019, 9, 19, 19, 0, 0, 0, time.UTC)
+	var prev float64
+	for i := 0; i < r.Len(); i++ {
+		sum, n := 0.0, 0
+		for k := 0; k < 200; k++ {
+			rtt, ok, err := r.RTT(i, at, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				sum += rtt
+				n++
+			}
+		}
+		avg := sum / float64(n)
+		if avg <= prev {
+			t.Fatalf("hop %d avg RTT %v not beyond previous %v", i, avg, prev)
+		}
+		prev = avg
+	}
+}
+
+func TestRouteCongestionInflatesDownstreamHops(t *testing.T) {
+	dev := newTestDevice(1.5)
+	r := buildTestRoute(dev)
+	rng := DerivedRand(9)
+	peakT := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC) // 21:00 JST
+	offT := time.Date(2019, 9, 19, 19, 0, 0, 0, time.UTC)  // 04:00 JST
+	avgAt := func(hop int, at time.Time) float64 {
+		sum, n := 0.0, 0
+		for k := 0; k < 400; k++ {
+			rtt, ok, err := r.RTT(hop, at, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				sum += rtt
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("all replies lost")
+		}
+		return sum / float64(n)
+	}
+	// Hop 0 is before the congested segment: no diurnal change.
+	if d := avgAt(0, peakT) - avgAt(0, offT); math.Abs(d) > 0.1 {
+		t.Fatalf("hop 0 shifted by %v ms between peak and off-peak", d)
+	}
+	// Hops 1 and 2 are at/after the congestion point: clearly inflated.
+	for hop := 1; hop <= 2; hop++ {
+		if d := avgAt(hop, peakT) - avgAt(hop, offT); d < 3 {
+			t.Fatalf("hop %d inflated by only %v ms at peak", hop, d)
+		}
+	}
+}
+
+func TestRouteRTTErrors(t *testing.T) {
+	r := &Route{}
+	if _, _, err := r.RTT(0, time.Now(), DerivedRand(1)); err != ErrNoHop {
+		t.Fatalf("err = %v, want ErrNoHop", err)
+	}
+	r2 := buildTestRoute(newTestDevice(0.5))
+	if _, _, err := r2.RTT(-1, time.Now(), DerivedRand(1)); err != ErrNoHop {
+		t.Fatal("negative hop index must error")
+	}
+	if _, _, err := r2.RTT(99, time.Now(), DerivedRand(1)); err != ErrNoHop {
+		t.Fatal("out-of-range hop index must error")
+	}
+}
+
+func TestRouteLossUnderOverload(t *testing.T) {
+	dev := newTestDevice(3.0) // extreme overload: high loss at peak
+	r := buildTestRoute(dev)
+	rng := DerivedRand(10)
+	peakT := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	lost := 0
+	for k := 0; k < 1000; k++ {
+		_, ok, err := r.RTT(2, peakT, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("expected some lost replies under extreme overload")
+	}
+}
+
+func BenchmarkRouteRTT(b *testing.B) {
+	dev := newTestDevice(1.2)
+	r := buildTestRoute(dev)
+	rng := DerivedRand(11)
+	at := time.Date(2019, 9, 19, 12, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.RTT(2, at, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

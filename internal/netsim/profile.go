@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// DiurnalProfile describes how user demand on an access network varies
+// over the day and week, normalised so DemandAt returns a value in [0, 1]
+// where 1 is the demand at the busiest instant of a regular evening peak.
+//
+// The shape is the sum of a low nightly baseline and a smooth evening
+// peak, following the load curves ISPs publish: demand bottoms out around
+// 04:00 local, ramps through the day, and peaks in the 19:00–23:00 window.
+// Weekends shift extra demand into the daytime. Lockdowns (COVIDShift)
+// raise and widen the daytime plateau, which is exactly the signature the
+// paper reads off ISP_US in April 2020.
+type DiurnalProfile struct {
+	// UTCOffset is the local-time offset of the subscriber population in
+	// hours (Japan = +9).
+	UTCOffset float64
+	// BaseLevel is the demand floor at the quietest time of night, as a
+	// fraction of peak (typically 0.25–0.45).
+	BaseLevel float64
+	// PeakHour is the local hour of maximum demand (typically 21).
+	PeakHour float64
+	// PeakWidth controls the spread of the evening peak in hours
+	// (standard deviation of the Gaussian bump, typically 2.5–3.5).
+	PeakWidth float64
+	// DaytimeLevel is the mid-afternoon demand plateau as a fraction of
+	// peak (typically 0.55–0.75).
+	DaytimeLevel float64
+	// WeekendBoost adds demand to weekend daytimes, fraction of peak
+	// (typically 0.05–0.15).
+	WeekendBoost float64
+	// COVIDShift raises and widens daytime demand: 0 is normal times,
+	// 1 models a full lockdown with work-from-home traffic.
+	COVIDShift float64
+}
+
+// DefaultProfile returns a typical residential demand profile for the
+// given UTC offset.
+func DefaultProfile(utcOffset float64) DiurnalProfile {
+	return DiurnalProfile{
+		UTCOffset:    utcOffset,
+		BaseLevel:    0.22,
+		PeakHour:     21,
+		PeakWidth:    2.8,
+		DaytimeLevel: 0.6,
+		WeekendBoost: 0.1,
+	}
+}
+
+// localHour returns the local hour-of-day in [0, 24).
+func (p DiurnalProfile) localHour(t time.Time) float64 {
+	u := t.UTC()
+	h := float64(u.Hour()) + float64(u.Minute())/60 + float64(u.Second())/3600 + p.UTCOffset
+	h = math.Mod(h, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// localWeekday returns the weekday at the subscriber's local time.
+func (p DiurnalProfile) localWeekday(t time.Time) time.Weekday {
+	return t.UTC().Add(time.Duration(p.UTCOffset * float64(time.Hour))).Weekday()
+}
+
+// circularGauss evaluates a Gaussian bump centred at c with width w on the
+// 24-hour circle.
+func circularGauss(h, c, w float64) float64 {
+	d := math.Abs(h - c)
+	if d > 12 {
+		d = 24 - d
+	}
+	return math.Exp(-d * d / (2 * w * w))
+}
+
+// DemandAt returns normalised demand in [0, 1] at time t.
+func (p DiurnalProfile) DemandAt(t time.Time) float64 {
+	h := p.localHour(t)
+
+	// Evening peak bump.
+	peak := circularGauss(h, p.PeakHour, p.PeakWidth)
+
+	// Daytime plateau: smooth rise after ~08:00 local, fading into the
+	// evening peak; implemented as a wide bump centred mid-afternoon.
+	day := circularGauss(h, 15, 4.5)
+
+	daytime := p.DaytimeLevel
+	wd := p.localWeekday(t)
+	if wd == time.Saturday || wd == time.Sunday {
+		daytime += p.WeekendBoost
+	}
+	// Lockdown: daytime demand approaches evening-peak demand and the
+	// peak itself widens (people stream earlier and longer).
+	if p.COVIDShift > 0 {
+		daytime += p.COVIDShift * (1.05 - daytime) * 0.8
+		wide := circularGauss(h, p.PeakHour, p.PeakWidth*1.5)
+		peak = math.Max(peak, p.COVIDShift*0.9*wide)
+	}
+
+	demand := p.BaseLevel + (1-p.BaseLevel)*math.Max(peak, daytime*day)
+	if demand > 1 {
+		demand = 1
+	}
+	if demand < 0 {
+		demand = 0
+	}
+	return demand
+}
+
+// PeakDemandWindow reports whether t falls within the profile's nominal
+// evening peak (within one PeakWidth of PeakHour, local time).
+func (p DiurnalProfile) PeakDemandWindow(t time.Time) bool {
+	h := p.localHour(t)
+	d := math.Abs(h - p.PeakHour)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d <= p.PeakWidth
+}

@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// QueueModel converts link utilisation into queuing delay. Below
+// saturation it follows the M/M/1 waiting-time curve W = S·ρ/(1−ρ); at and
+// beyond saturation the delay is pinned to the buffer depth, which is what
+// a persistently full FIFO does to every packet crossing it.
+type QueueModel struct {
+	// ServiceMs is the mean per-packet service time in milliseconds,
+	// setting the scale of the M/M/1 curve. Carrier aggregation gear
+	// forwarding minutes of mixed traffic sits around 0.05–0.3 ms.
+	ServiceMs float64
+	// BufferMs is the maximum queuing delay in milliseconds: the depth of
+	// the device's buffer expressed in time.
+	BufferMs float64
+	// JitterFrac is the relative standard deviation of sampled delays
+	// around the mean (per-packet variation from cross traffic).
+	JitterFrac float64
+}
+
+// DefaultQueue returns a queue model typical of the shared aggregation
+// gear the paper blames: sub-millisecond service time and a buffer worth
+// tens of milliseconds.
+func DefaultQueue() QueueModel {
+	return QueueModel{ServiceMs: 0.12, BufferMs: 40, JitterFrac: 0.25}
+}
+
+// MeanDelay returns the expected queuing delay in milliseconds at
+// utilisation rho (rho may exceed 1 during overload).
+func (q QueueModel) MeanDelay(rho float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return q.BufferMs
+	}
+	d := q.ServiceMs * rho / (1 - rho)
+	if d > q.BufferMs {
+		return q.BufferMs
+	}
+	return d
+}
+
+// SampleDelay draws one queuing-delay observation at utilisation rho,
+// adding multiplicative lognormal-ish jitter around the mean. The result
+// is never negative and never exceeds twice the buffer (a second of
+// serialisation behind a full buffer plus scheduling noise).
+func (q QueueModel) SampleDelay(rho float64, rng *rand.Rand) float64 {
+	mean := q.MeanDelay(rho)
+	if mean <= 0 {
+		return 0
+	}
+	// Multiplicative noise keeps small delays small and lets congested
+	// samples spread, like real queue occupancy does.
+	noise := math.Exp(rng.NormFloat64()*q.JitterFrac - q.JitterFrac*q.JitterFrac/2)
+	d := mean * noise
+	if max := 2 * q.BufferMs; d > max {
+		d = max
+	}
+	return d
+}
+
+// LossProb returns the packet-loss probability at utilisation rho: zero
+// until the buffer is nearly full, then climbing linearly with overload.
+// Traceroute replies crossing a saturated device go missing at this rate.
+func (q QueueModel) LossProb(rho float64) float64 {
+	if rho < 0.95 {
+		return 0
+	}
+	p := (rho - 0.95) * 0.4
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}

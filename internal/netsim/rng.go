@@ -1,0 +1,84 @@
+// Package netsim models the network substrate under the measurement
+// pipeline: shared access-network aggregation devices with diurnal demand,
+// a queueing-delay model, traceroute routes whose hops accumulate those
+// delays, and a fair-share throughput model. The same utilisation signal
+// drives both queuing delay and throughput, so the delay–throughput
+// anticorrelation the paper observes (§4.3) is an emergent property of the
+// model rather than an assumption of the analysis.
+//
+// All randomness is derived deterministically from (seed, entity, time)
+// tuples so that simulations are exactly reproducible and independent of
+// execution order.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances and mixes a 64-bit state; it is the standard
+// finaliser used to seed PRNGs from arbitrary integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MixSeed reduces a tuple of identifiers to a single well-mixed seed.
+// Simulation entities derive their per-(entity, time) PRNGs through it, so
+// results do not depend on the order entities are simulated in.
+func MixSeed(parts ...uint64) uint64 {
+	h := uint64(0x8e51_ecde_7d3a_f3b1)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return h
+}
+
+// splitmixSource is a rand.Source64 backed by splitmix64. The standard
+// library's default source pays a ~3µs reseed (it fills a 607-word
+// feedback register); simulations here create a fresh PRNG per
+// (entity, time) tuple, so seeding must be O(1).
+type splitmixSource struct {
+	state uint64
+}
+
+// Uint64 implements rand.Source64.
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// DerivedRand returns a PRNG seeded from the mixed parts.
+func DerivedRand(parts ...uint64) *rand.Rand {
+	return rand.New(&splitmixSource{state: MixSeed(parts...)})
+}
+
+// TruncNormal draws from a normal distribution with the given mean and
+// standard deviation, truncated below at lo. RTT noise must never push a
+// delay negative.
+func TruncNormal(rng *rand.Rand, mean, stddev, lo float64) float64 {
+	v := mean + rng.NormFloat64()*stddev
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Lognormal draws from a lognormal distribution parameterised by the mean
+// and standard deviation of the underlying normal. Heavy-tailed per-packet
+// delay spikes — cross traffic, CPE scheduling — are well described by a
+// lognormal body.
+func Lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + rng.NormFloat64()*sigma)
+}

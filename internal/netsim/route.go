@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"time"
+)
+
+// DelaySource contributes stochastic queuing delay to packets crossing a
+// path segment and may drop probe replies under overload.
+type DelaySource interface {
+	// QueueDelayAt draws one queuing-delay observation in ms at time t.
+	QueueDelayAt(t time.Time, rng *rand.Rand) float64
+	// LossProbAt returns the probability that a probe reply crossing the
+	// source at time t is lost.
+	LossProbAt(t time.Time) float64
+}
+
+// Hop is one router on a simulated route.
+type Hop struct {
+	// Addr is the address the router answers traceroute probes with. An
+	// invalid Addr models a router that does not reply (a "*" hop).
+	Addr netip.Addr
+	// BaseMs is this hop's added round-trip propagation plus processing
+	// time in milliseconds (delta over the previous hop).
+	BaseMs float64
+	// NoiseMs is the standard deviation of per-probe noise added at this
+	// hop (reply generation on the router's slow path).
+	NoiseMs float64
+	// Sources are the congestion points on the segment between the
+	// previous hop and this one; their delay is also incurred by every
+	// later hop on the route.
+	Sources []DelaySource
+}
+
+// Route is an ordered list of hops from a vantage point toward a target.
+// Index 0 is the first router (typically the home gateway).
+type Route struct {
+	Hops []Hop
+}
+
+// ErrNoHop is returned when a hop index is out of range.
+var ErrNoHop = errors.New("netsim: hop index out of range")
+
+// RTT draws one round-trip time observation in ms to hop i at time t.
+// The RTT accumulates the base and congestion delays of hops 0..i, like a
+// real TTL-limited probe does, so a congested segment inflates every hop
+// at and beyond it. The boolean result is false when the reply was lost.
+func (r *Route) RTT(i int, t time.Time, rng *rand.Rand) (float64, bool, error) {
+	if i < 0 || i >= len(r.Hops) {
+		return 0, false, ErrNoHop
+	}
+	total := 0.0
+	for j := 0; j <= i; j++ {
+		h := &r.Hops[j]
+		total += h.BaseMs
+		for _, src := range h.Sources {
+			total += src.QueueDelayAt(t, rng)
+			if rng.Float64() < src.LossProbAt(t) {
+				return 0, false, nil
+			}
+		}
+	}
+	h := &r.Hops[i]
+	if h.NoiseMs > 0 {
+		total = TruncNormal(rng, total, h.NoiseMs, 0.01)
+	}
+	return total, true, nil
+}
+
+// Len returns the number of hops.
+func (r *Route) Len() int { return len(r.Hops) }

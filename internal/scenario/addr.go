@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// prefixAllocator hands out non-overlapping synthetic prefixes for the
+// simulated world: IPv4 /16s walked through unicast space skipping
+// special-purpose /8s, and IPv6 /48s under a single documentation-style
+// /32.
+type prefixAllocator struct {
+	next4 int
+	next6 int
+}
+
+// reserved8 lists first octets the allocator must never use: private,
+// loopback, CGNAT, link-local, multicast and the simulator's own
+// measurement-target ranges.
+func reserved8(octet int) bool {
+	switch {
+	case octet == 0 || octet == 10 || octet == 100 || octet == 127:
+		return true
+	case octet == 169 || octet == 172 || octet == 192 || octet == 198 || octet == 193:
+		return true
+	case octet >= 224:
+		return true
+	default:
+		return false
+	}
+}
+
+// NextV4 returns the next free IPv4 /16.
+func (a *prefixAllocator) NextV4() (netip.Prefix, error) {
+	for {
+		hi := 20 + a.next4/256
+		lo := a.next4 % 256
+		if hi > 223 {
+			return netip.Prefix{}, fmt.Errorf("scenario: IPv4 prefix space exhausted after %d allocations", a.next4)
+		}
+		a.next4++
+		if reserved8(hi) {
+			// Skip the whole /8.
+			a.next4 += 255 - lo
+			continue
+		}
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(hi), byte(lo), 0, 0}), 16), nil
+	}
+}
+
+// NextV6 returns the next free IPv6 /48 under 2001:db8::/32.
+func (a *prefixAllocator) NextV6() (netip.Prefix, error) {
+	if a.next6 > 0xffff {
+		return netip.Prefix{}, fmt.Errorf("scenario: IPv6 prefix space exhausted")
+	}
+	b := [16]byte{0x20, 0x01, 0x0d, 0xb8}
+	b[4] = byte(a.next6 >> 8)
+	b[5] = byte(a.next6)
+	a.next6++
+	return netip.PrefixFrom(netip.AddrFrom16(b), 48), nil
+}

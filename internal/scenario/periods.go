@@ -1,0 +1,72 @@
+// Package scenario generates the synthetic measurement world the
+// reproduction runs on: 646 ASes across 98 countries with probes,
+// prefixes, eyeball populations, and congestion archetypes shaped so the
+// survey-level distributions match the paper's (≈90% None, ≈47 reported
+// ASes per period, +≈55% reported under COVID, Japan leading the Severe
+// share). It also builds the Tokyo case study of §4.
+package scenario
+
+import "time"
+
+// Period is one measurement period.
+type Period struct {
+	// Label names the period as the paper does, e.g. "2019-09".
+	Label string
+	// Start and End bound the traceroute collection (UTC).
+	Start, End time.Time
+	// COVIDShift is the lockdown intensity in [0, 1]: 0 for 2018/2019
+	// periods, 1 for April 2020.
+	COVIDShift float64
+}
+
+// Days returns the period length in days.
+func (p Period) Days() int {
+	return int(p.End.Sub(p.Start) / (24 * time.Hour))
+}
+
+// longitudinal labels the six 2018–2019 periods.
+func mkPeriod(year, month int, covid float64) Period {
+	start := time.Date(year, time.Month(month), 1, 0, 0, 0, 0, time.UTC)
+	return Period{
+		Label:      start.Format("2006-01"),
+		Start:      start,
+		End:        start.AddDate(0, 0, 15),
+		COVIDShift: covid,
+	}
+}
+
+// LongitudinalPeriods returns the six 1st–15th March/June/September
+// periods of 2018 and 2019 used for the longitudinal analysis (§2).
+func LongitudinalPeriods() []Period {
+	return []Period{
+		mkPeriod(2018, 3, 0), mkPeriod(2018, 6, 0), mkPeriod(2018, 9, 0),
+		mkPeriod(2019, 3, 0), mkPeriod(2019, 6, 0), mkPeriod(2019, 9, 0),
+	}
+}
+
+// COVIDPeriod returns the 1st–15th April 2020 lockdown period.
+func COVIDPeriod() Period { return mkPeriod(2020, 4, 1) }
+
+// AllPeriods returns the six longitudinal periods followed by the COVID
+// period — the eight measurement periods of the study minus the Tokyo
+// case-study week.
+func AllPeriods() []Period {
+	return append(LongitudinalPeriods(), COVIDPeriod())
+}
+
+// TokyoPeriod returns the CDN/traceroute overlap week of §4:
+// September 19th–26th, 2019.
+func TokyoPeriod() Period {
+	return Period{
+		Label:      "2019-09-tokyo",
+		Start:      time.Date(2019, 9, 19, 0, 0, 0, 0, time.UTC),
+		End:        time.Date(2019, 9, 27, 0, 0, 0, 0, time.UTC),
+		COVIDShift: 0,
+	}
+}
+
+// PeriodIndex returns a stable small integer for seeding per-period
+// randomness, derived from the period start.
+func PeriodIndex(p Period) uint64 {
+	return uint64(p.Start.Year())*100 + uint64(p.Start.Month())
+}

@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/atlas"
+	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/isp"
+	"github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// periodSeverity returns the AS's effective severity for a period: the
+// base severity plus a small per-period wobble, which makes borderline
+// ASes flip classes across periods and produces the churn §3.1 reports.
+func (w *World) periodSeverity(a *ASInfo, p Period) isp.Severity {
+	rng := netsim.DerivedRand(w.Seed, uint64(a.Network.ASN), PeriodIndex(p), 0x5e7)
+	return isp.Severity(float64(a.BaseSeverity) + rng.NormFloat64()*0.02)
+}
+
+// NetworkFor instantiates the AS's network at its per-period severity.
+func (w *World) NetworkFor(a *ASInfo, p Period) (*isp.Network, error) {
+	return isp.New(a.buildCfg(w.periodSeverity(a, p)))
+}
+
+// ProbesFor builds the AS's active probe fleet for a period. Deployment
+// grows over time (Atlas grew steadily through 2018–2020), so later
+// periods activate more of the AS's probe slots. Devices are built per
+// period from the per-period network.
+func (w *World) ProbesFor(a *ASInfo, p Period) ([]*atlas.Probe, error) {
+	network, err := w.NetworkFor(a, p)
+	if err != nil {
+		return nil, err
+	}
+	devices := network.BuildDevices(netsim.MixSeed(w.Seed, PeriodIndex(p)), p.COVIDShift)
+	ordinal := periodOrdinal(p)
+	activeProb := 0.78 + 0.03*float64(ordinal)
+	if activeProb > 0.98 {
+		activeProb = 0.98
+	}
+	var probes []*atlas.Probe
+	for slot := 0; slot < a.BaseProbes; slot++ {
+		slotRng := netsim.DerivedRand(w.Seed, uint64(a.Network.ASN), uint64(slot), 0xdeb)
+		if slotRng.Float64() > activeProb {
+			continue
+		}
+		probe, err := w.buildProbe(a, network, devices, slot, slotRng)
+		if err != nil {
+			return nil, err
+		}
+		probes = append(probes, probe)
+	}
+	return probes, nil
+}
+
+// buildProbe wires one probe slot into the simulated network.
+func (w *World) buildProbe(a *ASInfo, network *isp.Network, devices *isp.DeviceSet, slot int, rng interface{ Intn(int) int }) (*atlas.Probe, error) {
+	id := a.Index*1000 + slot + 10000
+	pub, err := ipnet.HostAt(network.Prefix, uint64(5000+slot*13))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", network.Name, err)
+	}
+	dev := devices.DeviceFor(uint64(id), 4)
+	edgeIdx := uint64(2)
+	if dev != nil {
+		edgeIdx = 2 + dev.ID%200
+	}
+	edge, err := ipnet.HostAt(network.Prefix, edgeIdx)
+	if err != nil {
+		return nil, err
+	}
+	coreAddr, err := ipnet.HostAt(network.Prefix, 65000)
+	if err != nil {
+		return nil, err
+	}
+	version := 3
+	availability := 0.985
+	// Roughly a fifth of the fleet is older v1/v2 hardware (§2).
+	switch rng.Intn(10) {
+	case 0:
+		version, availability = 1, 0.93
+	case 1:
+		version, availability = 2, 0.95
+	}
+	// A quarter of probes sit behind Wi-Fi or busy home LANs whose
+	// millisecond-scale noise drowns weak diurnal signals.
+	extraNoise := 0.02 * float64(rng.Intn(5))
+	if rng.Intn(4) == 0 {
+		extraNoise = 0.6 + float64(rng.Intn(150))/100
+	}
+	return &atlas.Probe{
+		ID:           id,
+		Version:      version,
+		ASN:          network.ASN,
+		CC:           network.CC,
+		PublicAddr:   pub,
+		LANAddr:      netip.AddrFrom4([4]byte{192, 168, 1, 10}),
+		GatewayAddr:  netip.AddrFrom4([4]byte{192, 168, 1, 1}),
+		EdgeAddr:     edge,
+		CoreAddr:     coreAddr,
+		Device:       dev,
+		EdgeBaseMs:   network.EdgeBaseMs,
+		ExtraNoiseMs: extraNoise,
+		Availability: availability,
+	}, nil
+}
+
+// periodOrdinal orders the standard periods for deployment growth.
+func periodOrdinal(p Period) int {
+	switch p.Label {
+	case "2018-03":
+		return 0
+	case "2018-06":
+		return 1
+	case "2018-09":
+		return 2
+	case "2019-03":
+		return 3
+	case "2019-06":
+		return 4
+	case "2019-09", "2019-09-tokyo":
+		return 5
+	case "2020-04":
+		return 7
+	default:
+		return 4
+	}
+}
+
+// SimulateProbeDelay runs the fast-path delay measurement for one probe
+// over a period: per 30-minute bin, TraceroutesPerBin truncated
+// traceroutes over the probe's last-mile route, each contributing 9
+// pairwise samples, exactly as the full Atlas engine + estimator would.
+func SimulateProbeDelay(probe *atlas.Probe, p Period, perBin int, seed uint64) (*lastmile.ProbeAccumulator, error) {
+	acc, err := lastmile.NewProbeAccumulator(probe.ID, p.Start, p.End, lastmile.DefaultBinWidth)
+	if err != nil {
+		return nil, err
+	}
+	route := probe.LastMileRoute()
+	var priv, pub [3]float64
+	for binStart := p.Start; binStart.Before(p.End); binStart = binStart.Add(lastmile.DefaultBinWidth) {
+		if !probe.OnlineAt(binStart, seed) {
+			continue
+		}
+		binUnix := uint64(binStart.Unix())
+		for k := 0; k < perBin; k++ {
+			rng := netsim.DerivedRand(seed, uint64(probe.ID), binUnix, uint64(k))
+			at := binStart.Add(time.Duration(rng.Int63n(int64(lastmile.DefaultBinWidth))))
+			okAll := true
+			for i := 0; i < 3; i++ {
+				v, ok, err := route.RTT(0, at, rng)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					okAll = false
+					break
+				}
+				priv[i] = v
+			}
+			if !okAll {
+				continue
+			}
+			for i := 0; i < 3; i++ {
+				v, ok, err := route.RTT(1, at, rng)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					okAll = false
+					break
+				}
+				pub[i] = v
+			}
+			if !okAll {
+				continue
+			}
+			acc.AddSamples(at, lastmile.PairwiseFromRTTs(priv[:], pub[:]))
+		}
+	}
+	return acc, nil
+}
+
+// PerProbeDelays measures one AS for a period and returns each probe's
+// queuing-delay series — the input for aggregation and for the §5
+// probe-variability bootstrap. Probes without a usable baseline are
+// skipped.
+func (w *World) PerProbeDelays(a *ASInfo, p Period) ([]*timeseries.Series, error) {
+	probes, err := w.ProbesFor(a, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(probes) < 3 {
+		return nil, fmt.Errorf("scenario: %s has %d active probes (<3)", a.Network.Name, len(probes))
+	}
+	var out []*timeseries.Series
+	for _, probe := range probes {
+		acc, err := SimulateProbeDelay(probe, p, w.TraceroutesPerBin, w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		qd, err := acc.QueuingDelay(lastmile.DefaultMinTraceroutes)
+		if err != nil {
+			continue
+		}
+		out = append(out, qd)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: %s produced no usable probe series", a.Network.Name)
+	}
+	return out, nil
+}
+
+// ASSignal computes one AS's aggregated queuing-delay signal for a
+// period, returning the signal and the number of contributing probes.
+func (w *World) ASSignal(a *ASInfo, p Period) (*timeseries.Series, int, error) {
+	perProbe, err := w.PerProbeDelays(a, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	agg, err := lastmile.AggregateQueuingDelay(perProbe)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agg, len(perProbe), nil
+}
+
+// RunSurvey measures and classifies every AS for one period (§3). ASes
+// with fewer than 3 active probes, or whose signal cannot be classified,
+// are skipped — mirroring the paper's monitoring bar.
+func (w *World) RunSurvey(p Period) (*core.Survey, error) {
+	survey := core.NewSurvey(p.Label)
+	opts := core.DefaultClassifierOptions()
+	for _, a := range w.ASes {
+		signal, n, err := w.ASSignal(a, p)
+		if err != nil {
+			continue // below the monitoring bar this period
+		}
+		cls, err := core.Classify(signal, opts)
+		if err != nil {
+			continue
+		}
+		survey.Add(&core.ASResult{
+			ASN:            a.Network.ASN,
+			Probes:         n,
+			Signal:         signal,
+			Classification: cls,
+		})
+	}
+	if survey.Len() == 0 {
+		return nil, fmt.Errorf("scenario: survey %s classified no AS", p.Label)
+	}
+	return survey, nil
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/last-mile-congestion/lastmile/internal/atlas"
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	"github.com/last-mile-congestion/lastmile/internal/isp"
+	"github.com/last-mile-congestion/lastmile/internal/netsim"
+)
+
+// TokyoISP is one network of the §4 case study, with its probe fleet and
+// (for broadband arms) a CDN client population.
+type TokyoISP struct {
+	// Network is the access network.
+	Network *isp.Network
+	// Devices are the case-study week's device instances.
+	Devices *isp.DeviceSet
+	// Probes are the Greater-Tokyo Atlas probes (empty for mobile arms,
+	// which host no probes in the study).
+	Probes []*atlas.Probe
+	// CDNClients is the client population size for log generation.
+	CDNClients int
+}
+
+// Tokyo is the §4 (and Appendix B/C) case-study world.
+type Tokyo struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// ISPA and ISPB ride the legacy PPPoE infrastructure; ISPC owns its
+	// fiber plant.
+	ISPA, ISPB, ISPC *TokyoISP
+	// ISPAMobile is ISP_A's cellular arm (a different AS, as §4.2
+	// notes); ISPBMobile and ISPCMobile share their broadband AS but
+	// use dedicated mobile prefixes.
+	ISPAMobile, ISPBMobile, ISPCMobile *TokyoISP
+	// ISPD is the Appendix B network: legacy-dependent broadband with
+	// both probes and an anchor.
+	ISPD *TokyoISP
+	// ISPDAnchor is the datacenter-hosted anchor inside ISP_D.
+	ISPDAnchor *atlas.Probe
+	// MobilePrefixes aggregates the published mobile prefixes
+	// (Appendix A) for CDN filtering.
+	MobilePrefixes *ipnet.PrefixSet
+	// RIB resolves client addresses to the case-study ASes.
+	RIB *bgp.RIB
+}
+
+// Case-study ASNs (synthetic).
+const (
+	ASNTokyoA       bgp.ASN = 65101
+	ASNTokyoB       bgp.ASN = 65102
+	ASNTokyoC       bgp.ASN = 65103
+	ASNTokyoAMobile bgp.ASN = 65111 // separate AS for ISP_A's mobile arm
+	ASNTokyoD       bgp.ASN = 65104
+)
+
+// Severities for the Tokyo legacy ISPs, calibrated so aggregated delays
+// peak in the 2–6 ms band of Fig. 5 while CDN throughput halves (Fig. 6).
+// Peak device utilisation for the legacy archetype is 0.7 + 1.7·s, so
+// these severities put the evening peak at ≈1.3× (ISP_A), ≈1.2× (ISP_B)
+// and ≈1.25× (ISP_D) capacity: congested only during the evening hours,
+// with the cubic overload-throughput law halving peak-hour throughput.
+const (
+	tokyoSeverityA = isp.Severity(0.35)
+	tokyoSeverityB = isp.Severity(0.30)
+	tokyoSeverityD = isp.Severity(0.32)
+)
+
+// BuildTokyo constructs the case-study world. cdnClients sets the client
+// population per broadband ISP (the paper had ≈150k across ISPs; a few
+// thousand reproduce the medians); 0 selects 2000.
+func BuildTokyo(seed uint64, cdnClients int) (*Tokyo, error) {
+	if cdnClients <= 0 {
+		cdnClients = 2000
+	}
+	t := &Tokyo{Seed: seed, RIB: &bgp.RIB{}}
+
+	mk := func(cfg isp.Config, probes int, clients int, anchored bool) (*TokyoISP, error) {
+		network, err := isp.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		devices := network.BuildDevices(netsim.MixSeed(seed, uint64(cfg.ASN)), 0)
+		ti := &TokyoISP{Network: network, Devices: devices, CDNClients: clients}
+		for slot := 0; slot < probes; slot++ {
+			probe, err := tokyoProbe(network, devices, slot, false)
+			if err != nil {
+				return nil, err
+			}
+			ti.Probes = append(ti.Probes, probe)
+		}
+		if err := t.RIB.Announce(cfg.Prefix, cfg.ASN); err != nil {
+			return nil, err
+		}
+		if cfg.PrefixV6.IsValid() {
+			if err := t.RIB.Announce(cfg.PrefixV6, cfg.ASN); err != nil {
+				return nil, err
+			}
+		}
+		_ = anchored
+		return ti, nil
+	}
+
+	var err error
+	// Broadband arms. Prefixes sit in the same synthetic space as the
+	// survey world but outside its allocation range.
+	t.ISPA, err = mk(isp.NewLegacyPPPoE("ISP_A", ASNTokyoA, "JP", 9,
+		netip.MustParsePrefix("203.96.0.0/16"), netip.MustParsePrefix("2001:db8:fa00::/48"),
+		tokyoSeverityA), 8, cdnClients, false)
+	if err != nil {
+		return nil, err
+	}
+	t.ISPB, err = mk(isp.NewLegacyPPPoE("ISP_B", ASNTokyoB, "JP", 9,
+		netip.MustParsePrefix("203.97.0.0/16"), netip.MustParsePrefix("2001:db8:fb00::/48"),
+		tokyoSeverityB), 5, cdnClients*5/8, false)
+	if err != nil {
+		return nil, err
+	}
+	t.ISPC, err = mk(isp.NewOwnFiber("ISP_C", ASNTokyoC, "JP", 9,
+		netip.MustParsePrefix("203.98.0.0/16"), netip.MustParsePrefix("2001:db8:fc00::/48")),
+		8, cdnClients, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mobile arms. ISP_A's runs in its own AS; ISP_B's and ISP_C's live
+	// inside the broadband AS under dedicated (published) prefixes.
+	t.ISPAMobile, err = mk(isp.NewCellular("ISP_A_mobile", ASNTokyoAMobile, "JP", 9,
+		netip.MustParsePrefix("203.99.0.0/16"), netip.MustParsePrefix("2001:db8:fd00::/48")),
+		0, cdnClients/2, false)
+	if err != nil {
+		return nil, err
+	}
+	t.ISPBMobile, err = mk(isp.NewCellular("ISP_B_mobile", ASNTokyoB, "JP", 9,
+		netip.MustParsePrefix("203.100.0.0/16"), netip.MustParsePrefix("2001:db8:fe00::/48")),
+		0, cdnClients/2, false)
+	if err != nil {
+		return nil, err
+	}
+	t.ISPCMobile, err = mk(isp.NewCellular("ISP_C_mobile", ASNTokyoC, "JP", 9,
+		netip.MustParsePrefix("203.101.0.0/16"), netip.MustParsePrefix("2001:db8:ff00::/48")),
+		0, cdnClients/2, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Appendix B: ISP_D with probes and an anchor.
+	t.ISPD, err = mk(isp.NewLegacyPPPoE("ISP_D", ASNTokyoD, "JP", 9,
+		netip.MustParsePrefix("203.102.0.0/16"), netip.MustParsePrefix("2001:db8:f900::/48"),
+		tokyoSeverityD), 6, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	anchorNet, err := isp.New(isp.NewDatacenter("ISP_D_anchor", ASNTokyoD, "JP", 9,
+		netip.MustParsePrefix("203.102.0.0/16"), netip.MustParsePrefix("2001:db8:f900::/48")))
+	if err != nil {
+		return nil, err
+	}
+	anchorDevs := anchorNet.BuildDevices(netsim.MixSeed(seed, uint64(ASNTokyoD), 0xa), 0)
+	t.ISPDAnchor, err = tokyoProbe(anchorNet, anchorDevs, 999, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Appendix A: published mobile prefixes.
+	t.MobilePrefixes = &ipnet.PrefixSet{}
+	for _, p := range []string{
+		"203.99.0.0/16", "203.100.0.0/16", "203.101.0.0/16",
+		"2001:db8:fd00::/48", "2001:db8:fe00::/48", "2001:db8:ff00::/48",
+	} {
+		if err := t.MobilePrefixes.AddString(p); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// tokyoProbe builds one Greater-Tokyo probe (or anchor) in a network.
+func tokyoProbe(network *isp.Network, devices *isp.DeviceSet, slot int, anchor bool) (*atlas.Probe, error) {
+	id := int(uint32(network.ASN))*100 + slot
+	pub, err := ipnet.HostAt(network.Prefix, uint64(5000+slot*13))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", network.Name, err)
+	}
+	dev := devices.DeviceFor(uint64(id), 4)
+	edgeIdx := uint64(2)
+	if dev != nil {
+		edgeIdx = 2 + dev.ID%200
+	}
+	edge, err := ipnet.HostAt(network.Prefix, edgeIdx)
+	if err != nil {
+		return nil, err
+	}
+	coreAddr, err := ipnet.HostAt(network.Prefix, 65000)
+	if err != nil {
+		return nil, err
+	}
+	cities := []string{"Tokyo", "Yokohama", "Chiba", "Saitama"}
+	return &atlas.Probe{
+		ID:           id,
+		Version:      3,
+		IsAnchor:     anchor,
+		ASN:          network.ASN,
+		CC:           "JP",
+		City:         cities[slot%len(cities)],
+		PublicAddr:   pub,
+		LANAddr:      netip.AddrFrom4([4]byte{192, 168, 1, 10}),
+		GatewayAddr:  netip.AddrFrom4([4]byte{192, 168, 1, 1}),
+		EdgeAddr:     edge,
+		CoreAddr:     coreAddr,
+		Device:       dev,
+		EdgeBaseMs:   network.EdgeBaseMs,
+		Availability: 0.99,
+	}, nil
+}

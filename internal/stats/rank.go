@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLengthMismatch is returned by correlation functions when the two
+// samples have different lengths.
+var ErrLengthMismatch = errors.New("stats: samples have different lengths")
+
+// ErrTooFew is returned when a correlation is requested on fewer than two
+// usable observation pairs.
+var ErrTooFew = errors.New("stats: need at least two observation pairs")
+
+// Ranks returns the fractional (mid) ranks of xs, 1-based: the smallest
+// value has rank 1 and ties receive the average of the ranks they span.
+// This is the tie handling required by Spearman's rank correlation.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) are tied; average 1-based rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrTooFew
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns Spearman's rank correlation coefficient rho of the
+// paired samples xs and ys, with average-rank tie handling. Pairs in which
+// either value is NaN are dropped first, which is how the paper joins the
+// delay and throughput time series (bins missing from either side are
+// ignored).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	cx := make([]float64, 0, len(xs))
+	cy := make([]float64, 0, len(ys))
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			continue
+		}
+		cx = append(cx, xs[i])
+		cy = append(cy, ys[i])
+	}
+	if len(cx) < 2 {
+		return 0, ErrTooFew
+	}
+	return Pearson(Ranks(cx), Ranks(cy))
+}
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. The zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs, ignoring NaN values. It returns an error
+// if no usable value exists.
+func NewECDF(xs []float64) (*ECDF, error) {
+	clean := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Float64s(clean)
+	return &ECDF{sorted: clean}, nil
+}
+
+// At returns the fraction of the sample that is <= x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x, so
+	// we search for the first index strictly greater than x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points returns the ECDF as (x, F(x)) step points, one per distinct sample
+// value, suitable for plotting the paper's CDF figures.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && e.sorted[j+1] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(j+1)/float64(n))
+		i = j + 1
+	}
+	return xs, fs
+}
+
+// Quantile returns the type-7 interpolated q-quantile of the ECDF's sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	return quantileSorted(e.sorted, q)
+}

@@ -1,0 +1,270 @@
+// Package stream provides an online variant of the last-mile pipeline
+// for continuous monitoring — the operational mode of the paper's
+// released tool (raclette, the Internet Health Report's delay monitor).
+// Traceroute results arrive in roughly-increasing time order; the monitor
+// maintains a sliding window of per-probe bins with bounded memory and
+// can classify any monitored AS at any moment from the current window.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/stats"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Window is the sliding analysis window (default 15 days, the
+	// paper's measurement-period length).
+	Window time.Duration
+	// BinWidth is the aggregation bin (default 30 minutes).
+	BinWidth time.Duration
+	// MinTraceroutes is the per-bin sanity threshold (default 3).
+	MinTraceroutes int
+	// Classifier configures the detector; the zero value selects
+	// core.DefaultClassifierOptions.
+	Classifier core.ClassifierOptions
+	// MaxLateness tolerates out-of-order arrivals: results older than
+	// Window+MaxLateness behind the newest observation are dropped
+	// (default 1 hour).
+	MaxLateness time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 15 * 24 * time.Hour
+	}
+	if o.BinWidth == 0 {
+		o.BinWidth = lastmile.DefaultBinWidth
+	}
+	if o.MinTraceroutes == 0 {
+		o.MinTraceroutes = lastmile.DefaultMinTraceroutes
+	}
+	if o.Classifier.MaxGapFrac == 0 {
+		o.Classifier = core.DefaultClassifierOptions()
+	}
+	if o.MaxLateness == 0 {
+		o.MaxLateness = time.Hour
+	}
+	return o
+}
+
+// binKey identifies a bin by its start time.
+type binKey int64
+
+// probeState is one probe's sliding window of bins.
+type probeState struct {
+	bins map[binKey]*binState
+}
+
+type binState struct {
+	samples []float64
+	groups  int
+}
+
+// Monitor ingests traceroute results and classifies ASes online. It is
+// safe for concurrent use.
+type Monitor struct {
+	opts Options
+
+	mu     sync.Mutex
+	probes map[bgp.ASN]map[int]*probeState
+	// newest is the latest observation timestamp, driving eviction.
+	newest time.Time
+	// Ingested and Dropped count accepted and too-late results.
+	ingested, dropped int
+}
+
+// NewMonitor creates a monitor.
+func NewMonitor(opts Options) *Monitor {
+	return &Monitor{
+		opts:   opts.withDefaults(),
+		probes: make(map[bgp.ASN]map[int]*probeState),
+	}
+}
+
+// Observe ingests one traceroute result for the given AS. Results without
+// a usable last-mile segment are counted but ignored; results falling too
+// far behind the newest observation are dropped.
+func (m *Monitor) Observe(asn bgp.ASN, r *traceroute.Result) error {
+	if r == nil {
+		return errors.New("stream: nil result")
+	}
+	samples, _, ok := lastmile.Estimate(r)
+	if !ok {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r.Timestamp.After(m.newest) {
+		m.newest = r.Timestamp
+		m.evictLocked()
+	}
+	horizon := m.newest.Add(-m.opts.Window - m.opts.MaxLateness)
+	if r.Timestamp.Before(horizon) {
+		m.dropped++
+		return nil
+	}
+	byProbe := m.probes[asn]
+	if byProbe == nil {
+		byProbe = make(map[int]*probeState)
+		m.probes[asn] = byProbe
+	}
+	ps := byProbe[r.ProbeID]
+	if ps == nil {
+		ps = &probeState{bins: make(map[binKey]*binState)}
+		byProbe[r.ProbeID] = ps
+	}
+	key := binKey(r.Timestamp.Unix() - r.Timestamp.Unix()%int64(m.opts.BinWidth/time.Second))
+	bs := ps.bins[key]
+	if bs == nil {
+		bs = &binState{}
+		ps.bins[key] = bs
+	}
+	bs.samples = append(bs.samples, samples...)
+	bs.groups++
+	m.ingested++
+	return nil
+}
+
+// evictLocked removes bins that slipped out of the window.
+func (m *Monitor) evictLocked() {
+	horizon := m.newest.Add(-m.opts.Window - m.opts.MaxLateness).Unix()
+	for asn, byProbe := range m.probes {
+		for id, ps := range byProbe {
+			for key := range ps.bins {
+				if int64(key) < horizon {
+					delete(ps.bins, key)
+				}
+			}
+			if len(ps.bins) == 0 {
+				delete(byProbe, id)
+			}
+		}
+		if len(byProbe) == 0 {
+			delete(m.probes, asn)
+		}
+	}
+}
+
+// Stats reports ingestion counters: accepted results and results dropped
+// for arriving beyond the lateness horizon.
+func (m *Monitor) Stats() (ingested, dropped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ingested, m.dropped
+}
+
+// ASNs returns the ASes with live state, sorted.
+func (m *Monitor) ASNs() []bgp.ASN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bgp.ASN, 0, len(m.probes))
+	for asn := range m.probes {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verdict is the outcome of an online classification.
+type Verdict struct {
+	ASN bgp.ASN
+	// Probes contributed usable series.
+	Probes int
+	// Signal is the aggregated queuing delay over the current window.
+	Signal *timeseries.Series
+	core.Classification
+}
+
+// ClassifyAS classifies one AS from the current window: the offline
+// pipeline (§2.1 + §2.3) applied to the live bins.
+func (m *Monitor) ClassifyAS(asn bgp.ASN) (*Verdict, error) {
+	m.mu.Lock()
+	byProbe := m.probes[asn]
+	if len(byProbe) == 0 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("stream: no state for %v", asn)
+	}
+	windowEnd := m.newest.Add(m.opts.BinWidth).Truncate(m.opts.BinWidth)
+	windowStart := windowEnd.Add(-m.opts.Window)
+	nBins := int(m.opts.Window / m.opts.BinWidth)
+
+	// Snapshot per-probe median series under the lock; the heavy
+	// spectral work happens outside it.
+	var perProbe []*timeseries.Series
+	for _, ps := range byProbe {
+		s, err := timeseries.NewSeries(windowStart, m.opts.BinWidth, nBins)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		usable := false
+		for key, bs := range ps.bins {
+			if bs.groups < m.opts.MinTraceroutes {
+				continue
+			}
+			t := time.Unix(int64(key), 0).UTC()
+			i, ok := s.IndexOf(t)
+			if !ok {
+				continue
+			}
+			if med, err := stats.Median(bs.samples); err == nil {
+				s.Values[i] = med
+				usable = true
+			}
+		}
+		if usable {
+			perProbe = append(perProbe, s)
+		}
+	}
+	m.mu.Unlock()
+
+	if len(perProbe) == 0 {
+		return nil, fmt.Errorf("stream: %v has no usable bins in the window", asn)
+	}
+	var qds []*timeseries.Series
+	for _, s := range perProbe {
+		qd, err := timeseries.SubtractMin(s)
+		if err != nil {
+			continue
+		}
+		qds = append(qds, qd)
+	}
+	if len(qds) == 0 {
+		return nil, fmt.Errorf("stream: %v has no probe with a finite baseline", asn)
+	}
+	signal, err := timeseries.AggregateMedian(qds)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := core.Classify(signal, m.opts.Classifier)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %v: %w", asn, err)
+	}
+	return &Verdict{ASN: asn, Probes: len(qds), Signal: signal, Classification: cls}, nil
+}
+
+// ClassifyAll classifies every monitored AS, skipping those whose window
+// cannot be classified yet, and returns the verdicts sorted by ASN.
+func (m *Monitor) ClassifyAll() []*Verdict {
+	var out []*Verdict
+	for _, asn := range m.ASNs() {
+		v, err := m.ClassifyAS(asn)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

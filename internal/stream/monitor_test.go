@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+var t0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// mkTrace builds a 2-hop traceroute with the given last-mile delta.
+func mkTrace(probeID int, ts time.Time, deltaMs float64) *traceroute.Result {
+	priv := netip.MustParseAddr("192.168.1.1")
+	pub := netip.MustParseAddr("203.0.113.1")
+	r := &traceroute.Result{
+		ProbeID: probeID, MsmID: 5004, Timestamp: ts, AF: 4,
+		SrcAddr: netip.MustParseAddr("192.168.1.10"),
+		DstAddr: netip.MustParseAddr("198.41.0.4"),
+	}
+	h1 := traceroute.HopResult{Hop: 1}
+	h2 := traceroute.HopResult{Hop: 2}
+	for i := 0; i < 3; i++ {
+		h1.Replies = append(h1.Replies, traceroute.Reply{From: priv, RTT: 0.5, TTL: 64})
+		h2.Replies = append(h2.Replies, traceroute.Reply{From: pub, RTT: 0.5 + deltaMs, TTL: 254})
+	}
+	r.Hops = []traceroute.HopResult{h1, h2}
+	return r
+}
+
+// feedDiurnal streams days of traceroutes for nProbes with a 6-hour
+// daily bump of bumpMs.
+func feedDiurnal(t *testing.T, m *Monitor, asn bgp.ASN, nProbes, days int, bumpMs float64) {
+	t.Helper()
+	end := t0.AddDate(0, 0, days)
+	for ts := t0; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+		delta := 2.0
+		if h := ts.Hour(); h >= 12 && h < 18 {
+			delta += bumpMs
+		}
+		for p := 1; p <= nProbes; p++ {
+			if err := m.Observe(asn, mkTrace(p, ts, delta)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestMonitorDetectsCongestion(t *testing.T) {
+	m := NewMonitor(Options{Window: 10 * 24 * time.Hour})
+	feedDiurnal(t, m, 64500, 4, 10, 5)
+	v, err := m.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != core.Severe {
+		t.Fatalf("class = %v (amp %.2f), want Severe", v.Class, v.DailyAmplitude)
+	}
+	if v.Probes != 4 {
+		t.Fatalf("probes = %d", v.Probes)
+	}
+	if !v.IsDaily {
+		t.Fatal("peak should be daily")
+	}
+	ingested, dropped := m.Stats()
+	if ingested == 0 || dropped != 0 {
+		t.Fatalf("ingested=%d dropped=%d", ingested, dropped)
+	}
+}
+
+func TestMonitorFlatASIsNone(t *testing.T) {
+	m := NewMonitor(Options{Window: 10 * 24 * time.Hour})
+	feedDiurnal(t, m, 64501, 3, 10, 0)
+	v, err := m.ClassifyAS(64501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != core.None {
+		t.Fatalf("class = %v, want None", v.Class)
+	}
+}
+
+func TestMonitorEvictsOldState(t *testing.T) {
+	m := NewMonitor(Options{Window: 5 * 24 * time.Hour, MaxLateness: time.Hour})
+	// Congested days 0-5, then clean days 5-12: after the window slides
+	// past the congestion, the verdict must flip to None.
+	end1 := t0.AddDate(0, 0, 5)
+	for ts := t0; ts.Before(end1); ts = ts.Add(10 * time.Minute) {
+		delta := 2.0
+		if h := ts.Hour(); h >= 12 && h < 18 {
+			delta += 5
+		}
+		for p := 1; p <= 3; p++ {
+			m.Observe(64500, mkTrace(p, ts, delta))
+		}
+	}
+	v, err := m.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Class.Reported() {
+		t.Fatalf("congested window class = %v", v.Class)
+	}
+
+	end2 := t0.AddDate(0, 0, 12)
+	for ts := end1; ts.Before(end2); ts = ts.Add(10 * time.Minute) {
+		for p := 1; p <= 3; p++ {
+			m.Observe(64500, mkTrace(p, ts, 2.0))
+		}
+	}
+	v, err = m.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != core.None {
+		t.Fatalf("clean window class = %v (amp %.2f), want None", v.Class, v.DailyAmplitude)
+	}
+}
+
+func TestMonitorDropsTooLate(t *testing.T) {
+	m := NewMonitor(Options{Window: 2 * 24 * time.Hour, MaxLateness: time.Hour})
+	m.Observe(1, mkTrace(1, t0.AddDate(0, 0, 10), 2))
+	// A result 10 days behind the newest observation must be dropped.
+	m.Observe(1, mkTrace(1, t0, 2))
+	_, dropped := m.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestMonitorIgnoresUnusableTraceroutes(t *testing.T) {
+	m := NewMonitor(Options{})
+	r := mkTrace(1, t0, 2)
+	r.Hops = r.Hops[:1] // no public hop
+	if err := m.Observe(1, r); err != nil {
+		t.Fatal(err)
+	}
+	ingested, _ := m.Stats()
+	if ingested != 0 {
+		t.Fatalf("ingested = %d, want 0", ingested)
+	}
+	if err := m.Observe(1, nil); err == nil {
+		t.Fatal("nil result must error")
+	}
+}
+
+func TestMonitorMinTraceroutesFilter(t *testing.T) {
+	// A probe contributing a single traceroute per bin never yields a
+	// usable series under the default filter.
+	m := NewMonitor(Options{Window: 8 * 24 * time.Hour})
+	end := t0.AddDate(0, 0, 8)
+	for ts := t0; ts.Before(end); ts = ts.Add(30 * time.Minute) {
+		m.Observe(64500, mkTrace(1, ts, 2))
+	}
+	if _, err := m.ClassifyAS(64500); err == nil {
+		t.Fatal("1 traceroute/bin should not classify under min=3")
+	}
+}
+
+func TestMonitorUnknownAS(t *testing.T) {
+	m := NewMonitor(Options{})
+	if _, err := m.ClassifyAS(999); err == nil {
+		t.Fatal("want error for unknown AS")
+	}
+}
+
+func TestMonitorClassifyAll(t *testing.T) {
+	m := NewMonitor(Options{Window: 8 * 24 * time.Hour})
+	feedDiurnal(t, m, 100, 3, 8, 5)
+	feedDiurnal(t, m, 200, 3, 8, 0)
+	asns := m.ASNs()
+	if len(asns) != 2 || asns[0] != 100 || asns[1] != 200 {
+		t.Fatalf("asns = %v", asns)
+	}
+	verdicts := m.ClassifyAll()
+	if len(verdicts) != 2 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	if !verdicts[0].Class.Reported() || verdicts[1].Class.Reported() {
+		t.Fatalf("classes = %v / %v", verdicts[0].Class, verdicts[1].Class)
+	}
+	// Signals cover the window with real data.
+	if verdicts[0].Signal.GapCount() > verdicts[0].Signal.Len()/2 {
+		t.Fatal("signal mostly gaps")
+	}
+}
+
+func TestMonitorConcurrentObserve(t *testing.T) {
+	m := NewMonitor(Options{Window: 3 * 24 * time.Hour})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				ts := t0.Add(time.Duration(i) * 5 * time.Minute)
+				m.Observe(bgp.ASN(100+g), mkTrace(g, ts, 2))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	ingested, _ := m.Stats()
+	if ingested != 2000 {
+		t.Fatalf("ingested = %d, want 2000", ingested)
+	}
+}
+
+func TestVerdictAmplitudeSane(t *testing.T) {
+	m := NewMonitor(Options{Window: 10 * 24 * time.Hour})
+	feedDiurnal(t, m, 64500, 3, 10, 4)
+	v, err := m.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6h/day 4 ms square bump has daily fundamental p2p ≈ 3.6 ms.
+	if math.Abs(v.DailyAmplitude-3.6) > 0.8 {
+		t.Fatalf("amplitude = %.2f, want ~3.6", v.DailyAmplitude)
+	}
+}

@@ -1,0 +1,171 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mkFiniteSeries builds a series from arbitrary raw floats, mapping
+// non-finite inputs to gaps and folding magnitudes into a physical delay
+// range (|v| < 10^6 ms) — RTTs live there, and unconstrained doubles
+// overflow any subtraction-based invariant.
+func mkFiniteSeries(raw []float64) *Series {
+	s, _ := NewSeries(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC), 30*time.Minute, len(raw))
+	for i, v := range raw {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			s.Values[i] = math.Mod(v, 1e6)
+		}
+	}
+	return s
+}
+
+// Property: SubtractMin preserves gaps, pins the minimum at exactly zero,
+// and preserves all pairwise differences between finite bins.
+func TestSubtractMinProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := mkFiniteSeries(raw)
+		qd, err := SubtractMin(s)
+		if err != nil {
+			// Only legal for all-gap series.
+			return s.GapCount() == s.Len()
+		}
+		min := math.Inf(1)
+		for i, v := range qd.Values {
+			orig := s.Values[i]
+			if math.IsNaN(orig) != math.IsNaN(v) {
+				return false
+			}
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < 0 {
+				return false
+			}
+			if v < min {
+				min = v
+			}
+		}
+		if min != 0 {
+			return false
+		}
+		// Pairwise differences preserved.
+		for i := range s.Values {
+			for j := i + 1; j < s.Len(); j++ {
+				a, b := s.Values[i], s.Values[j]
+				if math.IsNaN(a) || math.IsNaN(b) {
+					continue
+				}
+				if math.Abs((a-b)-(qd.Values[i]-qd.Values[j])) > 1e-9*(1+math.Abs(a-b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median aggregate of a population lies between the
+// per-bin min and max across the population, and aggregating identical
+// series is the identity.
+func TestAggregateMedianProperties(t *testing.T) {
+	f := func(raw []float64, copies uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := int(copies%5) + 1
+		s := mkFiniteSeries(raw)
+		pop := make([]*Series, n)
+		for i := range pop {
+			pop[i] = s.Clone()
+		}
+		agg, err := AggregateMedian(pop)
+		if err != nil {
+			return false
+		}
+		for i := range agg.Values {
+			a, o := agg.Values[i], s.Values[i]
+			if math.IsNaN(o) != math.IsNaN(a) {
+				return false
+			}
+			if !math.IsNaN(a) && a != o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DayHourProfile of a strictly day-periodic series reproduces
+// the daily template in every weekday slot that received data.
+func TestDayHourProfilePeriodicProperty(t *testing.T) {
+	f := func(seed uint8, days uint8) bool {
+		nDays := int(days%10) + 7
+		start := time.Date(2019, 9, 2, 0, 0, 0, 0, time.UTC) // Monday
+		s, _ := NewSeries(start, 30*time.Minute, nDays*48)
+		for i := range s.Values {
+			slot := i % 48
+			s.Values[i] = float64((slot*int(seed+1))%48) / 7
+		}
+		prof, err := DayHourProfile(s)
+		if err != nil {
+			return false
+		}
+		for i, v := range prof {
+			if math.IsNaN(v) {
+				continue
+			}
+			slot := i % 48
+			want := float64((slot*int(seed+1))%48) / 7
+			if math.Abs(v-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Window never yields values that differ from the parent
+// series at the same timestamps.
+func TestWindowConsistencyProperty(t *testing.T) {
+	f := func(raw []float64, loFrac, hiFrac uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := mkFiniteSeries(raw)
+		lo := int(loFrac) % s.Len()
+		hi := lo + 1 + int(hiFrac)%(s.Len()-lo)
+		w, err := s.Window(s.TimeAt(lo), s.TimeAt(0).Add(time.Duration(hi)*s.Step))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < w.Len(); i++ {
+			ts := w.TimeAt(i)
+			j, ok := s.IndexOf(ts)
+			if !ok {
+				return false
+			}
+			a, b := w.Values[i], s.Values[j]
+			if math.IsNaN(a) != math.IsNaN(b) {
+				return false
+			}
+			if !math.IsNaN(a) && a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package traceroute
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the parsers must never panic on malformed or adversarial
+// input — they either parse or return an error. These tests replay
+// mutation-fuzzed variants of valid documents.
+
+func TestParseAtlasNeverPanics(t *testing.T) {
+	valid, err := MarshalAtlas(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	corpus := [][]byte{
+		valid,
+		[]byte("{}"),
+		[]byte("[]"),
+		[]byte("null"),
+		[]byte(`{"result": "not-an-array"}`),
+		[]byte(`{"result": [{"hop": "x"}]}`),
+		[]byte(`{"result": [{"hop": 1, "result": [{"rtt": "fast"}]}]}`),
+		[]byte(`{"timestamp": -1}`),
+		[]byte(`{"af": 99, "prb_id": -5}`),
+	}
+	for _, seed := range corpus {
+		// The seed itself must not panic.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", seed, r)
+				}
+			}()
+			ParseAtlas(seed) //nolint:errcheck // error is acceptable, panic is not
+		}()
+		// 200 random mutations of the seed.
+		for i := 0; i < 200; i++ {
+			mut := append([]byte(nil), seed...)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				if len(mut) == 0 {
+					break
+				}
+				switch rng.Intn(3) {
+				case 0: // flip a byte
+					mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+				case 1: // truncate
+					mut = mut[:rng.Intn(len(mut)+1)]
+				case 2: // duplicate a chunk
+					p := rng.Intn(len(mut))
+					mut = append(mut[:p], append([]byte{mut[p]}, mut[p:]...)...)
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutated input %q: %v", mut, r)
+					}
+				}()
+				ParseAtlas(mut) //nolint:errcheck // error is acceptable, panic is not
+			}()
+		}
+	}
+}
+
+func TestScannerNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		var sb strings.Builder
+		lines := rng.Intn(5)
+		for l := 0; l < lines; l++ {
+			n := rng.Intn(200)
+			for i := 0; i < n; i++ {
+				sb.WriteByte(byte(rng.Intn(256)))
+			}
+			sb.WriteByte('\n')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage stream: %v", r)
+				}
+			}()
+			sc := NewScanner(strings.NewReader(sb.String()))
+			for sc.Scan() {
+				_ = sc.Result()
+			}
+			_ = sc.Err()
+		}()
+	}
+}

@@ -1,0 +1,108 @@
+// Package traceroute defines the traceroute result model the pipeline
+// consumes and a codec for the RIPE Atlas result format, so the same
+// analysis runs on simulated measurements and on genuine Atlas API data.
+package traceroute
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Reply is one response to a TTL-limited probe. Atlas sends three probes
+// per hop, so hops normally carry three replies.
+type Reply struct {
+	// From is the address that answered. Invalid when the probe timed
+	// out.
+	From netip.Addr
+	// RTT is the round-trip time in milliseconds. NaN/0 with Timeout set
+	// when the probe timed out.
+	RTT float64
+	// TTL is the reply's remaining time-to-live, when reported.
+	TTL int
+	// Timeout marks a probe that received no answer (a "*" in classic
+	// traceroute output).
+	Timeout bool
+}
+
+// HopResult groups the replies for one TTL.
+type HopResult struct {
+	// Hop is the 1-based TTL of the probes.
+	Hop int
+	// Replies holds up to three probe replies.
+	Replies []Reply
+}
+
+// Result is one executed traceroute.
+type Result struct {
+	// ProbeID identifies the vantage point.
+	ProbeID int
+	// MsmID identifies the measurement the traceroute belongs to (one of
+	// the Atlas built-ins in this pipeline).
+	MsmID int
+	// Timestamp is the measurement start time.
+	Timestamp time.Time
+	// AF is the address family, 4 or 6.
+	AF int
+	// SrcAddr is the probe's local (usually private) address.
+	SrcAddr netip.Addr
+	// FromAddr is the probe's public address as seen by the Atlas
+	// infrastructure; the paper uses it for the probe→ASN longest-prefix
+	// match when edge addresses are unannounced.
+	FromAddr netip.Addr
+	// DstAddr is the traceroute target.
+	DstAddr netip.Addr
+	// Proto is the probe protocol (ICMP, UDP, TCP).
+	Proto string
+	// Hops holds the per-TTL results in ascending TTL order.
+	Hops []HopResult
+}
+
+// Validate checks structural invariants: a known address family,
+// ascending hop numbers, and at most three replies per hop.
+func (r *Result) Validate() error {
+	if r.AF != 4 && r.AF != 6 {
+		return fmt.Errorf("traceroute: bad address family %d", r.AF)
+	}
+	if r.Timestamp.IsZero() {
+		return errors.New("traceroute: zero timestamp")
+	}
+	prev := 0
+	for i, h := range r.Hops {
+		if h.Hop <= prev {
+			return fmt.Errorf("traceroute: hop %d out of order at index %d", h.Hop, i)
+		}
+		if len(h.Replies) > 3 {
+			return fmt.Errorf("traceroute: hop %d has %d replies (max 3)", h.Hop, len(h.Replies))
+		}
+		prev = h.Hop
+	}
+	return nil
+}
+
+// ReachedDst reports whether any reply came from the traceroute target.
+func (r *Result) ReachedDst() bool {
+	for _, h := range r.Hops {
+		for _, rep := range h.Replies {
+			if !rep.Timeout && rep.From == r.DstAddr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RTTs returns the non-timeout RTTs of hop index i (not TTL).
+func (r *Result) RTTs(i int) []float64 {
+	if i < 0 || i >= len(r.Hops) {
+		return nil
+	}
+	var out []float64
+	for _, rep := range r.Hops[i].Replies {
+		if !rep.Timeout && rep.RTT > 0 {
+			out = append(out, rep.RTT)
+		}
+	}
+	return out
+}

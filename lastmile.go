@@ -1,0 +1,337 @@
+// Package lastmile detects persistent last-mile congestion from
+// traceroute measurements, reproducing the methodology of "Persistent
+// Last-mile Congestion: Not so Uncommon" (Fontugne, Shah, Cho — ACM IMC
+// 2020).
+//
+// The pipeline has four stages, each usable on its own:
+//
+//  1. Parse traceroutes — Atlas-format JSON via ParseAtlasResult /
+//     NewResultScanner, or construct Result values directly.
+//  2. Estimate last-mile RTT samples per traceroute (EstimateLastMile):
+//     the pairwise differences between the last private hop and the first
+//     public hop.
+//  3. Accumulate per-probe median RTT in 30-minute bins and aggregate a
+//     probe population into a queuing-delay signal (NewProbeAccumulator,
+//     PopulationDelay).
+//  4. Classify the signal (Classify): a Welch periodogram normalised to
+//     peak-to-peak amplitude locates the prominent frequency; signals
+//     whose prominent component is the daily cycle are classified
+//     Severe / Mild / Low by amplitude.
+//
+// CDN-side validation (§4 of the paper) is available through the
+// throughput estimator (NewThroughputEstimator): median per-IP throughput
+// of large cache-hit transfers in 15-minute bins, with mobile prefixes
+// excluded, and Spearman correlation against the delay signal.
+//
+// A full synthetic measurement world — the RIPE Atlas platform, access
+// networks with shared aggregation devices, and a CDN log stream — lives
+// under internal/scenario and internal/experiments and powers the
+// reproduction of every figure in the paper; see cmd/lmexp.
+package lastmile
+
+import (
+	"io"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/apnic"
+	"github.com/last-mile-congestion/lastmile/internal/atlas"
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/dsp"
+	"github.com/last-mile-congestion/lastmile/internal/ipnet"
+	lm "github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/stats"
+	"github.com/last-mile-congestion/lastmile/internal/stream"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// --- Traceroute results (RIPE Atlas format) ---
+
+// Result is one traceroute measurement result.
+type Result = traceroute.Result
+
+// HopResult groups the probe replies of one TTL.
+type HopResult = traceroute.HopResult
+
+// Reply is a single probe reply.
+type Reply = traceroute.Reply
+
+// ParseAtlasResult decodes one RIPE Atlas traceroute result JSON object.
+func ParseAtlasResult(data []byte) (*Result, error) { return traceroute.ParseAtlas(data) }
+
+// MarshalAtlasResult encodes a result in the RIPE Atlas JSON format.
+func MarshalAtlasResult(r *Result) ([]byte, error) { return traceroute.MarshalAtlas(r) }
+
+// ResultScanner streams results from newline-delimited Atlas JSON.
+type ResultScanner = traceroute.Scanner
+
+// NewResultScanner wraps r for JSONL traceroute input.
+func NewResultScanner(r io.Reader) *ResultScanner { return traceroute.NewScanner(r) }
+
+// ResultWriter streams results as newline-delimited Atlas JSON.
+type ResultWriter = traceroute.Writer
+
+// NewResultWriter wraps w for JSONL traceroute output.
+func NewResultWriter(w io.Writer) *ResultWriter { return traceroute.NewWriter(w) }
+
+// --- Last-mile estimation (§2.1) ---
+
+// Segment is the last-mile boundary within a traceroute: last private
+// hop, first public hop.
+type Segment = lm.Segment
+
+// EstimateLastMile extracts a traceroute's last-mile RTT samples: up to 9
+// pairwise (public − private) differences. ok is false when the
+// traceroute carries no usable last-mile segment.
+func EstimateLastMile(r *Result) (samples []float64, seg Segment, ok bool) {
+	return lm.Estimate(r)
+}
+
+// FindSegment locates the last-mile segment of a traceroute.
+func FindSegment(r *Result) (Segment, bool) { return lm.FindSegment(r) }
+
+// ProbeAccumulator turns one probe's traceroutes into its median-RTT and
+// queuing-delay series.
+type ProbeAccumulator = lm.ProbeAccumulator
+
+// NewProbeAccumulator creates an accumulator for one probe over
+// [start, end) with the given bin width (use DefaultBinWidth).
+func NewProbeAccumulator(probeID int, start, end time.Time, binWidth time.Duration) (*ProbeAccumulator, error) {
+	return lm.NewProbeAccumulator(probeID, start, end, binWidth)
+}
+
+// Binning defaults of the paper's pipeline.
+const (
+	// DefaultBinWidth is the 30-minute aggregation bin of §2.1.
+	DefaultBinWidth = lm.DefaultBinWidth
+	// DefaultMinTraceroutes is the per-bin sanity threshold of §2.
+	DefaultMinTraceroutes = lm.DefaultMinTraceroutes
+)
+
+// PopulationDelay aggregates per-probe accumulators into the population
+// queuing-delay signal (median across probes per bin), returning the
+// signal and the number of contributing probes.
+func PopulationDelay(accs []*ProbeAccumulator, minTraceroutes int) (*Series, int, error) {
+	return lm.PopulationDelay(accs, minTraceroutes)
+}
+
+// --- Time series ---
+
+// Series is a regularly sampled time series; NaN marks gaps.
+type Series = timeseries.Series
+
+// NewSeries returns a Series of n gap values starting at start.
+func NewSeries(start time.Time, step time.Duration, n int) (*Series, error) {
+	return timeseries.NewSeries(start, step, n)
+}
+
+// SubtractMin converts an RTT series into a queuing-delay estimate by
+// pinning its minimum at zero.
+func SubtractMin(s *Series) (*Series, error) { return timeseries.SubtractMin(s) }
+
+// AggregateMedian combines aligned series by per-bin median.
+func AggregateMedian(series []*Series) (*Series, error) {
+	return timeseries.AggregateMedian(series)
+}
+
+// DayHourProfile folds a series onto a Monday-to-Sunday weekly template.
+func DayHourProfile(s *Series) ([]float64, error) { return timeseries.DayHourProfile(s) }
+
+// --- Classification (§2.3) ---
+
+// Class is a persistent-congestion severity class.
+type Class = core.Class
+
+// The paper's four classes.
+const (
+	None   = core.None
+	Low    = core.Low
+	Mild   = core.Mild
+	Severe = core.Severe
+)
+
+// DailyFreq is the daily cycle frequency in cycles per hour (1/24).
+const DailyFreq = core.DailyFreq
+
+// Thresholds holds the classifier's amplitude cut-offs.
+type Thresholds = core.Thresholds
+
+// DefaultThresholds returns the paper's 0.5 / 1 / 3 ms cut-offs.
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// ClassifierOptions configures Classify.
+type ClassifierOptions = core.ClassifierOptions
+
+// DefaultClassifierOptions returns the paper pipeline's configuration.
+func DefaultClassifierOptions() ClassifierOptions { return core.DefaultClassifierOptions() }
+
+// Classification is the detector's verdict on one aggregated signal.
+type Classification = core.Classification
+
+// Classify runs the §2.3 detector on an aggregated queuing-delay signal.
+func Classify(signal *Series, opts ClassifierOptions) (Classification, error) {
+	return core.Classify(signal, opts)
+}
+
+// --- Spectral analysis ---
+
+// Periodogram is a Welch spectral estimate calibrated so a sinusoid of
+// peak-to-peak amplitude X reads X at its frequency bin.
+type Periodogram = dsp.Periodogram
+
+// WelchOptions configures the Welch estimate.
+type WelchOptions = dsp.WelchOptions
+
+// WelchDefaults returns the paper pipeline's Welch configuration.
+func WelchDefaults() WelchOptions { return dsp.WelchDefaults() }
+
+// Welch estimates the spectrum of xs sampled at sampleRate samples per
+// unit time.
+func Welch(xs []float64, sampleRate float64, opts WelchOptions) (*Periodogram, error) {
+	return dsp.Welch(xs, sampleRate, opts)
+}
+
+// --- Surveys (§3) ---
+
+// Survey holds per-AS results for one measurement period.
+type Survey = core.Survey
+
+// NewSurvey creates an empty survey for a period label.
+func NewSurvey(period string) *Survey { return core.NewSurvey(period) }
+
+// ASResult is one AS's outcome in one period.
+type ASResult = core.ASResult
+
+// ASN is an autonomous system number.
+type ASN = bgp.ASN
+
+// RIB is a routing table with longest-prefix match, used to resolve
+// probe and client addresses to origin ASes.
+type RIB = bgp.RIB
+
+// ParseRIB reads "prefix origin" lines into a RIB.
+func ParseRIB(r io.Reader) (*RIB, error) { return bgp.ParseRIB(r) }
+
+// Ranking is an APNIC-style eyeball population ranking.
+type Ranking = apnic.Ranking
+
+// ParseRanking reads "asn cc users" lines into a Ranking.
+func ParseRanking(r io.Reader) (*Ranking, error) { return apnic.ParseRanking(r) }
+
+// --- CDN throughput validation (§4.2) ---
+
+// LogEntry is one CDN access-log record.
+type LogEntry = cdn.LogEntry
+
+// CacheStatus is the CDN cache outcome of a request.
+type CacheStatus = cdn.CacheStatus
+
+// Cache outcomes.
+const (
+	CacheHit  = cdn.Hit
+	CacheMiss = cdn.Miss
+)
+
+// NewLogScanner streams log entries from the CSV produced by
+// NewLogWriter.
+func NewLogScanner(r io.Reader) *cdn.Scanner { return cdn.NewScanner(r) }
+
+// NewLogWriter streams log entries as CSV.
+func NewLogWriter(w io.Writer) *cdn.Writer { return cdn.NewWriter(w) }
+
+// ThroughputOptions configures the throughput estimator.
+type ThroughputOptions = cdn.ThroughputOptions
+
+// DefaultThroughputOptions returns the paper's §4.2 filters: >3 MB
+// cache hits, 15-minute bins.
+func DefaultThroughputOptions() ThroughputOptions { return cdn.DefaultThroughputOptions() }
+
+// ThroughputEstimator aggregates log entries into the median per-IP
+// throughput series.
+type ThroughputEstimator = cdn.Estimator
+
+// NewThroughputEstimator creates an estimator covering [start, end).
+func NewThroughputEstimator(start, end time.Time, opts ThroughputOptions) (*ThroughputEstimator, error) {
+	return cdn.NewEstimator(start, end, opts)
+}
+
+// PrefixSet is a set of prefixes with longest-prefix-match membership,
+// used for the mobile-prefix filter.
+type PrefixSet = ipnet.PrefixSet
+
+// IsPrivate reports whether an address belongs to the subscriber side of
+// the last mile (RFC 1918, CGNAT, link-local, loopback, ULA).
+func IsPrivate(addr netip.Addr) bool { return ipnet.IsPrivate(addr) }
+
+// IsPublic reports whether an address is globally routable unicast.
+func IsPublic(addr netip.Addr) bool { return ipnet.IsPublic(addr) }
+
+// Spearman returns Spearman's rank correlation of two paired samples,
+// dropping pairs with NaN on either side — the §4.3 delay/throughput
+// join.
+func Spearman(xs, ys []float64) (float64, error) { return stats.Spearman(xs, ys) }
+
+// --- Probe metadata (Atlas probe archive) ---
+
+// ProbeInfo is one Atlas probe's metadata record.
+type ProbeInfo = atlas.ProbeInfo
+
+// ProbeRegistry indexes probe metadata for the paper's selections
+// (exclude anchors, group by ASN, filter by city).
+type ProbeRegistry = atlas.Registry
+
+// ProbeSelect narrows a probe selection.
+type ProbeSelect = atlas.SelectOptions
+
+// ParseProbeRegistry reads probe metadata as a JSON array or JSONL, the
+// shapes the Atlas probe archive ships in.
+func ParseProbeRegistry(r io.Reader) (*ProbeRegistry, error) { return atlas.ParseRegistry(r) }
+
+// --- Robustness and guard rails ---
+
+// BootstrapOptions configures BootstrapAmplitude.
+type BootstrapOptions = core.BootstrapOptions
+
+// BootstrapResult summarises the resampled amplitude distribution.
+type BootstrapResult = core.BootstrapResult
+
+// BootstrapAmplitude quantifies probe-population variability (§5): it
+// resamples per-probe queuing-delay series with replacement and reports
+// a confidence interval on the daily amplitude plus class stability.
+func BootstrapAmplitude(perProbe []*Series, opts BootstrapOptions) (*BootstrapResult, error) {
+	return core.BootstrapAmplitude(perProbe, opts)
+}
+
+// GuardOptions tunes PeakHourMask.
+type GuardOptions = core.GuardOptions
+
+// DefaultGuardOptions returns the recommended guard configuration.
+func DefaultGuardOptions() GuardOptions { return core.DefaultGuardOptions() }
+
+// PeakHourMask implements §6's recommendation for delay studies: one
+// boolean per bin, true where latency-based inference should avoid this
+// AS's probes.
+func PeakHourMask(signal *Series, cls Classification, opts GuardOptions) ([]bool, error) {
+	return core.PeakHourMask(signal, cls, opts)
+}
+
+// MaskedFraction returns the share of bins a mask excludes.
+func MaskedFraction(mask []bool) float64 { return core.MaskedFraction(mask) }
+
+// --- Streaming (online) monitoring ---
+
+// StreamOptions configures a streaming monitor.
+type StreamOptions = stream.Options
+
+// StreamMonitor ingests traceroute results continuously and classifies
+// ASes over a sliding window with bounded memory.
+type StreamMonitor = stream.Monitor
+
+// StreamVerdict is one AS's online classification.
+type StreamVerdict = stream.Verdict
+
+// NewStreamMonitor creates a streaming monitor.
+func NewStreamMonitor(opts StreamOptions) *StreamMonitor { return stream.NewMonitor(opts) }
