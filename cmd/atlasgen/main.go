@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/last-mile-congestion/lastmile/internal/atlas"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func run(ispName string, days, probeLimit int, seed uint64, out, metaOut string) error {
+func run(ispName string, days, probeLimit int, seed uint64, out, metaOut string) (err error) {
 	tk, err := scenario.BuildTokyo(seed, 10)
 	if err != nil {
 		return err
@@ -64,11 +65,13 @@ func run(ispName string, days, probeLimit int, seed uint64, out, metaOut string)
 
 	var w io.Writer = os.Stdout
 	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
+		// cerr, not err: a short-declared err here would shadow the
+		// named return that CloseJoin records into.
+		f, cerr := os.Create(out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer ioutil.CloseJoin(f, &err)
 		w = f
 	}
 	tw := traceroute.NewWriter(w)
@@ -101,7 +104,7 @@ func run(ispName string, days, probeLimit int, seed uint64, out, metaOut string)
 
 // writeMetadata emits the probes' metadata in Atlas probe-archive form so
 // lmsurvey can group results by AS without a RIB.
-func writeMetadata(path string, probes []*atlas.Probe) error {
+func writeMetadata(path string, probes []*atlas.Probe) (err error) {
 	infos := make([]atlas.ProbeInfo, 0, len(probes))
 	for _, p := range probes {
 		infos = append(infos, atlas.ProbeInfo{
@@ -122,6 +125,6 @@ func writeMetadata(path string, probes []*atlas.Probe) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer ioutil.CloseJoin(f, &err)
 	return registry.WriteRegistry(f)
 }

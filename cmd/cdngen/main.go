@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 )
 
@@ -34,7 +35,7 @@ func main() {
 	}
 }
 
-func run(ispName string, mobile bool, clients, days int, seed uint64, out string) error {
+func run(ispName string, mobile bool, clients, days int, seed uint64, out string) (err error) {
 	tk, err := scenario.BuildTokyo(seed, clients)
 	if err != nil {
 		return err
@@ -62,11 +63,13 @@ func run(ispName string, mobile bool, clients, days int, seed uint64, out string
 
 	var w io.Writer = os.Stdout
 	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
+		// cerr, not err: a short-declared err here would shadow the
+		// named return that CloseJoin records into.
+		f, cerr := os.Create(out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer ioutil.CloseJoin(f, &err)
 		w = f
 	}
 	cw := cdn.NewWriter(w)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	lastmile "github.com/last-mile-congestion/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/stream"
 )
@@ -45,7 +46,7 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer ioutil.CloseQuiet(f)
 		r = f
 	}
 	var rib *lastmile.RIB
@@ -55,7 +56,7 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
 			return err
 		}
 		parsed, err := lastmile.ParseRIB(f)
-		f.Close()
+		ioutil.CloseQuiet(f)
 		if err != nil {
 			return err
 		}

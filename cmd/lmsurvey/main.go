@@ -23,6 +23,7 @@ import (
 	"time"
 
 	lastmile "github.com/last-mile-congestion/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 )
 
@@ -47,7 +48,7 @@ func run(in, ribIn, probesIn, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer ioutil.CloseQuiet(f)
 		r = f
 	}
 	var rib *lastmile.RIB
@@ -57,7 +58,7 @@ func run(in, ribIn, probesIn, csvDir string) error {
 			return err
 		}
 		parsed, err := lastmile.ParseRIB(f)
-		f.Close()
+		ioutil.CloseQuiet(f)
 		if err != nil {
 			return err
 		}
@@ -70,7 +71,7 @@ func run(in, ribIn, probesIn, csvDir string) error {
 			return err
 		}
 		parsed, err := lastmile.ParseProbeRegistry(f)
-		f.Close()
+		ioutil.CloseQuiet(f)
 		if err != nil {
 			return err
 		}
@@ -188,7 +189,7 @@ func run(in, ribIn, probesIn, csvDir string) error {
 	return tb.Render(os.Stdout)
 }
 
-func dumpCSV(dir string, asn lastmile.ASN, signal *lastmile.Series) error {
+func dumpCSV(dir string, asn lastmile.ASN, signal *lastmile.Series) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -196,6 +197,6 @@ func dumpCSV(dir string, asn lastmile.ASN, signal *lastmile.Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer ioutil.CloseJoin(f, &err)
 	return report.WriteSeriesCSV(f, "agg_queuing_delay_ms", signal)
 }

@@ -1,0 +1,128 @@
+// Command lmvet runs the repo-specific static-analysis suite over the
+// last-mile congestion codebase: NaN-unsafe float comparisons, unguarded
+// float sorts and reductions, nondeterminism in the simulation packages,
+// lock misuse in the streaming monitor, and dropped Close/Flush errors
+// on the ingest/report paths.
+//
+// Usage:
+//
+//	lmvet [flags] [packages]
+//
+// Packages follow the usual pattern syntax ("./...", "./internal/stats").
+// With no arguments, ./... is analysed.
+//
+// Exit codes: 0 — no findings; 1 — findings reported; 2 — usage, load,
+// or type-check error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the stable -json output shape for one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the stable -json output document.
+type jsonReport struct {
+	Count       int              `json:"count"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON document")
+	unscoped := fs.Bool("unscoped", false, "ignore the default per-analyzer package scoping and apply every analyzer everywhere")
+	enabled := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "lmvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "lmvet:", err)
+		return 2
+	}
+	dirs, err := loader.ResolvePatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "lmvet:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "lmvet: no packages matched", patterns)
+		return 2
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *unscoped {
+		cfg.Scope = nil
+	}
+	cfg.Enabled = make(map[string]bool, len(enabled))
+	for name, on := range enabled {
+		cfg.Enabled[name] = *on
+	}
+
+	diags, err := analysis.RunSuite(loader, dirs, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "lmvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		report := jsonReport{Count: len(diags), Diagnostics: make([]jsonDiagnostic, 0, len(diags))}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "lmvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "lmvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI entry point with args and returns exit code and
+// captured streams.
+func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := exec(t, "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, stderr := exec(t, "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "floatcmp") || !strings.Contains(stdout, "dirty.go") {
+		t.Errorf("findings output missing analyzer or file: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding") {
+		t.Errorf("stderr missing findings summary: %q", stderr)
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	code, _, stderr := exec(t, "testdata/broken")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "lmvet:") {
+		t.Errorf("stderr missing error report: %q", stderr)
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	code, _, _ := exec(t, "testdata/no-such-dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestUnknownFlagExitsTwo(t *testing.T) {
+	code, _, _ := exec(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	code, stdout, _ := exec(t, "-json", "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var report struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("output is not the documented JSON shape: %v\n%s", err, stdout)
+	}
+	if report.Count != 1 || len(report.Diagnostics) != 1 {
+		t.Fatalf("count = %d, diagnostics = %d, want 1 and 1", report.Count, len(report.Diagnostics))
+	}
+	d := report.Diagnostics[0]
+	if d.Analyzer != "floatcmp" {
+		t.Errorf("analyzer = %q, want floatcmp", d.Analyzer)
+	}
+	if !strings.HasSuffix(d.File, "dirty.go") || d.Line == 0 || d.Column == 0 {
+		t.Errorf("position not populated: %+v", d)
+	}
+	if d.Message == "" {
+		t.Errorf("empty message")
+	}
+}
+
+func TestJSONCleanRun(t *testing.T) {
+	code, stdout, _ := exec(t, "-json", "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var report struct {
+		Count       int   `json:"count"`
+		Diagnostics []any `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("clean -json output unparsable: %v", err)
+	}
+	if report.Count != 0 || len(report.Diagnostics) != 0 {
+		t.Errorf("clean run reported count=%d diagnostics=%d", report.Count, len(report.Diagnostics))
+	}
+}
+
+func TestDisableFlagSuppressesFindings(t *testing.T) {
+	code, stdout, stderr := exec(t, "-floatcmp=false", "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with floatcmp disabled; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+}
+
+func TestOtherCheckersStillRunWhenOneDisabled(t *testing.T) {
+	// Disabling an unrelated checker must not suppress the floatcmp
+	// finding.
+	code, stdout, _ := exec(t, "-errclose=false", "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "floatcmp") {
+		t.Errorf("floatcmp finding missing: %q", stdout)
+	}
+}

@@ -1,0 +1,4 @@
+// Package broken is an lmvet CLI test fixture that fails to parse.
+package broken
+
+func Oops( {

@@ -1,0 +1,11 @@
+// Package clean is an lmvet CLI test fixture with no findings.
+package clean
+
+// Sum adds integers; nothing here trips any analyzer.
+func Sum(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

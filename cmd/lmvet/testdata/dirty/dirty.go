@@ -1,0 +1,9 @@
+// Package dirty is an lmvet CLI test fixture with exactly one floatcmp
+// finding, used to exercise exit code 1, the -json shape, and the
+// per-checker disable flags.
+package dirty
+
+// Equal compares floats with ==, which floatcmp flags.
+func Equal(a, b float64) bool {
+	return a == b
+}

@@ -76,10 +76,7 @@ func trace(probeID int, ts time.Time, rng *rand.Rand) *lastmile.Result {
 	// Base last-mile RTT ~2 ms; 19:00–01:00 adds up to 5 ms of queueing.
 	queue := 0.0
 	if h := ts.Hour(); h >= 19 || h < 1 {
-		queue = 5 * math.Sin(math.Pi*float64((h+5)%24-23+24)/6) // smooth bump
-		if queue < 0 {
-			queue = 0
-		}
+		queue = max(5*math.Sin(math.Pi*float64((h+5)%24-23+24)/6), 0) // smooth bump
 	}
 	r := &lastmile.Result{
 		ProbeID:   probeID,

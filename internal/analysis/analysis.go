@@ -1,0 +1,139 @@
+// Package analysis implements lmvet, a repo-specific static-analysis
+// suite for the last-mile congestion pipeline. It is built purely on the
+// standard library's go/ast, go/parser, and go/types packages — no
+// external analysis framework — so the module stays dependency-free.
+//
+// The defect classes it targets are the ones that corrupt a
+// millisecond-scale congestion classifier without failing any test:
+// NaN-unsafe float comparisons (floatcmp), NaN propagation through sorts
+// and min/max reductions (nanguard), nondeterminism in the simulation
+// packages that must reproduce EXPERIMENTS.md bit-for-bit (detguard),
+// lock misuse in the concurrent streaming monitor (locksafe), and
+// dropped Close/Flush/Write errors on the ingest/report paths
+// (errclose).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pass carries one loaded, type-checked package through an analyzer.
+type Pass struct {
+	// Fset resolves token positions for every file of the package.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name is the flag-friendly identifier (e.g. "floatcmp").
+	Name string
+	// Doc is a one-line description shown by lmvet -help.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String formats the diagnostic in the canonical file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*Analyzer {
+	as := []*Analyzer{
+		FloatCmpAnalyzer,
+		NaNGuardAnalyzer,
+		DetGuardAnalyzer,
+		LockSafeAnalyzer,
+		ErrCloseAnalyzer,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		analyzer: a,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

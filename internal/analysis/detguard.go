@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetGuardAnalyzer flags nondeterminism in packages that must be
+// bit-for-bit reproducible: wall-clock reads, the globally seeded
+// math/rand generator, and map iteration whose order leaks into output.
+//
+// Rationale: the simulation and scenario packages regenerate every
+// figure in EXPERIMENTS.md from fixed seeds; a single time.Now, global
+// rand call, or order-dependent map walk makes those artifacts
+// unreproducible and poisons golden-file comparisons. lmvet scopes this
+// analyzer to the deterministic packages (internal/netsim,
+// internal/scenario, internal/dsp) via its configuration.
+var DetGuardAnalyzer = &Analyzer{
+	Name: "detguard",
+	Doc:  "flags time.Now, global math/rand, and order-dependent map iteration in deterministic packages",
+	Run:  runDetGuard,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared, globally seeded source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true,
+}
+
+func runDetGuard(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		sorts := funcCallsSort(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, sorts)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	pkgPath, name, ok := pkgFunc(pass, call)
+	if !ok {
+		return
+	}
+	switch {
+	case pkgPath == "time" && name == "Now":
+		pass.Reportf(call.Pos(), "time.Now in a deterministic package; thread a clock or timestamp in explicitly")
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
+		pass.Reportf(call.Pos(), "global %s.%s uses the shared seed; use an explicitly seeded *rand.Rand", pkgPath, name)
+	}
+}
+
+// funcCallsSort reports whether fd calls into package sort or slices'
+// sort helpers, or any function whose name starts with "Sort" or ends
+// with "Sorted" — evidence the author canonicalises iteration order.
+func funcCallsSort(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				found = true
+				return false
+			}
+		}
+		if len(name) >= 4 && (name[:4] == "Sort" || name[:4] == "sort") {
+			found = true
+			return false
+		}
+		if len(name) >= 6 && name[len(name)-6:] == "Sorted" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkMapRange flags ranging over a map while appending to a slice in a
+// function that never sorts: the accumulated order differs run to run.
+// Pure reductions (sums, counters, deletes) are order-independent and
+// not flagged.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, funcSorts bool) {
+	if funcSorts {
+		return
+	}
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	appends := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					appends = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if appends {
+		pass.Reportf(rng.Pos(), "appending during map iteration without sorting; element order differs between runs")
+	}
+}

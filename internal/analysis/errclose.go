@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCloseAnalyzer flags statement-position calls to Close, Flush, Sync,
+// and Write that return an error nobody reads, including `defer
+// f.Close()` on the same methods.
+//
+// Rationale: on the ingest side a gzip reader's Close surfaces checksum
+// corruption, and on the report side buffered writers only surface
+// short-write and ENOSPC errors at Flush/Close — dropping them means a
+// survey run can emit a truncated CSV and still exit 0. An explicit
+// `_ = f.Close()` is accepted as a documented decision.
+var ErrCloseAnalyzer = &Analyzer{
+	Name: "errclose",
+	Doc:  "flags dropped errors from Close/Flush/Sync/Write calls",
+	Run:  runErrClose,
+}
+
+// errCloseMethods are the flushing/teardown methods whose errors carry
+// data-integrity information.
+var errCloseMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Write": true,
+}
+
+func runErrClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedErr(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedErr(pass, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDroppedErr(pass, n.Call, "go ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDroppedErr(pass *Pass, call *ast.CallExpr, prefix string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !errCloseMethods[sel.Sel.Name] {
+		return
+	}
+	// Only method calls: selection must be a method value.
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s%s.%s returns an error that is dropped; handle it or discard explicitly with _ =", prefix, types.ExprString(sel.X), sel.Sel.Name)
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

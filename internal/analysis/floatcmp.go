@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags NaN-unsafe float comparisons: == and != between
+// floating-point operands, equality on structs or arrays that contain
+// float fields, and float-keyed maps.
+//
+// Rationale: the classifier works on millisecond medians where gap bins
+// are NaN. NaN != NaN, so an equality test silently misroutes every gap
+// sample, and a float map key turns each NaN into a distinct,
+// unreachable entry. The one permitted idiom is comparison against the
+// constant 0 used as a "field not set" sentinel (NaN == 0 is false, so a
+// NaN input behaves like "set", which is the conservative direction).
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on float operands, float-containing structs, and float map keys",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEq(pass, n)
+			case *ast.MapType:
+				if t := pass.TypeOf(n.Key); isFloat(t) || containsFloat(t) {
+					pass.Reportf(n.Key.Pos(), "map keyed by float type %s: NaN keys are unequal to themselves and unretrievable", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatEq(pass *Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	// Whole-expression constants are folded at compile time; NaN cannot
+	// occur.
+	if tv, ok := pass.Info.Types[cmp]; ok && tv.Value != nil {
+		return
+	}
+	xt, yt := pass.TypeOf(cmp.X), pass.TypeOf(cmp.Y)
+	switch {
+	case isFloat(xt) || isFloat(yt):
+		if isZeroConst(pass, cmp.X) || isZeroConst(pass, cmp.Y) {
+			return // zero-value sentinel check, NaN-safe in the conservative direction
+		}
+		pass.Reportf(cmp.OpPos, "float comparison with %s is NaN-unsafe; use an epsilon or math.IsNaN guard", cmp.Op)
+	case containsFloat(xt) || containsFloat(yt):
+		pass.Reportf(cmp.OpPos, "%s on %s compares float fields with ==, which is NaN-unsafe; compare fields explicitly", cmp.Op, typeName(pass, xt, yt))
+	}
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Int && tv.Value.Kind() != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+func typeName(pass *Pass, xt, yt types.Type) string {
+	t := xt
+	if t == nil || !containsFloat(t) {
+		t = yt
+	}
+	if t == nil {
+		return "composite"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean runs the full lmvet suite, with the repo's default
+// configuration, over every package in the module. It is the regression
+// gate that keeps the codebase free of the defect classes the analyzers
+// target: a new float ==, an unguarded sort, a time.Now in the
+// simulator, an unlocked monitor write, or a dropped Close error fails
+// `go test ./...` with the exact finding.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := l.ResolvePatterns(l.ModuleDir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ResolvePatterns: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("suspiciously few package dirs resolved: %d", len(dirs))
+	}
+	diags, err := RunSuite(l, dirs, DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockSafeAnalyzer flags lock misuse around the concurrent monitor:
+// lock-containing structs transported by value (the copy and the
+// original guard different data with unrelated mutexes), and methods
+// that write guarded fields without holding the guarding mutex, or
+// while holding only its read half.
+//
+// The "Locked" suffix convention is honoured: a method named
+// evictLocked documents that its caller holds the lock and is exempt
+// from the write check.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags by-value lock copies and unguarded writes to mutex-protected fields",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		checkLockCopies(pass, fd)
+		checkGuardedWrites(pass, fd)
+	}
+	return nil
+}
+
+// checkLockCopies flags receivers, parameters, and results whose type
+// contains a sync primitive but is not behind a pointer.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				pass.Reportf(field.Type.Pos(), "%s of type %s passes a lock by value; use a pointer", kind, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+}
+
+// checkGuardedWrites flags assignments to fields of a mutex-bearing
+// receiver in methods that never acquire the receiver's mutex (or that
+// hold only RLock while writing).
+func checkGuardedWrites(pass *Pass, fd *ast.FuncDecl) {
+	recvObj, mutexFields := mutexReceiver(pass, fd)
+	if recvObj == nil || len(mutexFields) == 0 {
+		return
+	}
+	if name := fd.Name.Name; strings.HasSuffix(name, "Locked") || strings.HasSuffix(name, "locked") {
+		return
+	}
+	locked, rlocked := receiverLockCalls(pass, fd, recvObj, mutexFields)
+	if locked {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportUnguardedWrite(pass, lhs, recvObj, mutexFields, rlocked)
+			}
+		case *ast.IncDecStmt:
+			reportUnguardedWrite(pass, n.X, recvObj, mutexFields, rlocked)
+		}
+		return true
+	})
+}
+
+// mutexReceiver returns the object of fd's pointer receiver and the
+// names of the receiver struct's sync.Mutex / sync.RWMutex fields.
+func mutexReceiver(pass *Pass, fd *ast.FuncDecl) (types.Object, map[string]bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	ident := fd.Recv.List[0].Names[0]
+	obj := pass.Info.Defs[ident]
+	if obj == nil {
+		return nil, nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if named, ok := f.Type().(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "sync" && (o.Name() == "Mutex" || o.Name() == "RWMutex") {
+				fields[f.Name()] = true
+			}
+		}
+	}
+	return obj, fields
+}
+
+// receiverLockCalls reports whether fd calls Lock (or RLock) on one of
+// the receiver's mutex fields.
+func receiverLockCalls(pass *Pass, fd *ast.FuncDecl, recv types.Object, mutexFields map[string]bool) (locked, rlocked bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !mutexFields[inner.Sel.Name] {
+			return true
+		}
+		if id, ok := ast.Unparen(inner.X).(*ast.Ident); !ok || pass.Info.Uses[id] != recv {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			locked = true
+		case "RLock":
+			rlocked = true
+		}
+		return true
+	})
+	return locked, rlocked
+}
+
+// reportUnguardedWrite flags lhs when it writes through a non-mutex
+// field of recv.
+func reportUnguardedWrite(pass *Pass, lhs ast.Expr, recv types.Object, mutexFields map[string]bool, rlocked bool) {
+	sel := rootSelector(lhs)
+	if sel == nil || mutexFields[sel.Sel.Name] {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.Info.Uses[id] != recv {
+		return
+	}
+	if rlocked {
+		pass.Reportf(lhs.Pos(), "write to %s.%s under RLock; writers must hold the full lock", id.Name, sel.Sel.Name)
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to %s.%s without holding %s's mutex; lock, or suffix the method name with Locked", id.Name, sel.Sel.Name, id.Name)
+}
+
+// rootSelector unwraps index, star, and selector chains down to the
+// innermost selector whose X could be the receiver: m.probes[k] -> m.probes,
+// m.state.count -> m.state.
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if _, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				return x
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

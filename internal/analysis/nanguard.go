@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NaNGuardAnalyzer flags float-slice sorts and min/max reductions in
+// functions that contain no reachable NaN check.
+//
+// Rationale: sort's comparison-based algorithms place NaNs at arbitrary
+// positions (every comparison involving NaN is false), so a median or
+// quantile read from a sorted slice that still contains NaN is
+// position-dependent garbage. Likewise a running min/max reduction gives
+// a result that depends on where the NaN sits: seeded with NaN it stays
+// NaN, seeded before the NaN it silently skips it. A function that
+// guards with math.IsNaN (or delegates to an *IgnoringNaN helper) makes
+// its NaN policy explicit and is not flagged.
+var NaNGuardAnalyzer = &Analyzer{
+	Name: "nanguard",
+	Doc:  "flags float sorts and min/max reductions without a reachable NaN check",
+	Run:  runNaNGuard,
+}
+
+func runNaNGuard(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		if funcMentionsNaN(fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNaNSortCall(pass, n)
+			case *ast.IfStmt:
+				checkMinMaxReduction(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcMentionsNaN reports whether fd calls anything NaN-related:
+// math.IsNaN itself, or a helper whose name mentions NaN
+// (MedianIgnoringNaN, dropNaN, ...).
+func funcMentionsNaN(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if strings.Contains(calleeName(call), "NaN") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func checkNaNSortCall(pass *Pass, call *ast.CallExpr) {
+	pkgPath, name, ok := pkgFunc(pass, call)
+	if !ok {
+		return
+	}
+	switch {
+	case pkgPath == "sort" && name == "Float64s",
+		pkgPath == "slices" && (name == "Sort" || name == "Min" || name == "Max"):
+		if len(call.Args) >= 1 && sliceOfFloat(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "%s.%s on a float slice with no NaN check in this function; NaNs end up in arbitrary positions", pkgPath, name)
+		}
+	case pkgPath == "sort" && (name == "Slice" || name == "SliceStable" || name == "SliceIsSorted"):
+		if len(call.Args) == 2 && lessFuncComparesFloats(pass, call.Args[1]) {
+			pass.Reportf(call.Pos(), "sort.%s with a float less-func and no NaN check in this function; NaNs end up in arbitrary positions", name)
+		}
+	}
+}
+
+func sliceOfFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isFloat(s.Elem())
+}
+
+// lessFuncComparesFloats reports whether arg is a func literal whose body
+// performs an ordered comparison between float operands.
+func lessFuncComparesFloats(pass *Pass, arg ast.Expr) bool {
+	lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if cmp, ok := n.(*ast.BinaryExpr); ok && isOrderedOp(cmp.Op) {
+			if isFloat(pass.TypeOf(cmp.X)) || isFloat(pass.TypeOf(cmp.Y)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isOrderedOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// checkMinMaxReduction flags the `if v < m { m = v }` pattern on floats:
+// an if whose condition is an ordered float comparison and whose body is
+// a single assignment of one comparison operand to the other.
+func checkMinMaxReduction(pass *Pass, ifs *ast.IfStmt) {
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || !isOrderedOp(cmp.Op) || ifs.Else != nil {
+		return
+	}
+	if !isFloat(pass.TypeOf(cmp.X)) && !isFloat(pass.TypeOf(cmp.Y)) {
+		return
+	}
+	if len(ifs.Body.List) != 1 {
+		return
+	}
+	asg, ok := ifs.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := types.ExprString(asg.Lhs[0]), types.ExprString(asg.Rhs[0])
+	x, y := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	if (lhs == x && rhs == y) || (lhs == y && rhs == x) {
+		pass.Reportf(ifs.Pos(), "min/max reduction over floats with no NaN check in this function; result depends on NaN position")
+	}
+}

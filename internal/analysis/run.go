@@ -1,0 +1,82 @@
+package analysis
+
+import "strings"
+
+// Config selects which analyzers run and where their findings apply.
+type Config struct {
+	// Enabled maps analyzer name -> on/off. A nil map enables every
+	// analyzer; a present-but-false entry disables one.
+	Enabled map[string]bool
+	// Scope maps analyzer name -> import-path substrings the analyzer is
+	// confined to. Analyzers without an entry apply everywhere.
+	Scope map[string][]string
+}
+
+// DefaultConfig returns the repo's lmvet policy: every analyzer on,
+// detguard confined to the deterministic simulation packages, and
+// errclose confined to the ingest/report paths and the binaries.
+func DefaultConfig() Config {
+	return Config{
+		Scope: map[string][]string{
+			"detguard": {
+				"internal/netsim",
+				"internal/scenario",
+				"internal/dsp",
+			},
+			"errclose": {
+				"internal/ioutil",
+				"internal/traceroute",
+				"internal/report",
+				"/cmd/",
+			},
+		},
+	}
+}
+
+// enabled reports whether the named analyzer should run at all.
+func (c Config) enabled(name string) bool {
+	if c.Enabled == nil {
+		return true
+	}
+	on, ok := c.Enabled[name]
+	return !ok || on
+}
+
+// inScope reports whether the analyzer applies to the package path.
+func (c Config) inScope(name, pkgPath string) bool {
+	subs := c.Scope[name]
+	if len(subs) == 0 {
+		return true
+	}
+	for _, s := range subs {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSuite loads every package directory and applies the configured
+// analyzers, returning all findings sorted by position. Load and
+// type-check failures abort the run.
+func RunSuite(l *Loader, dirs []string, cfg Config) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range All() {
+			if !cfg.enabled(a.Name) || !cfg.inScope(a.Name, pkg.Path) {
+				continue
+			}
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

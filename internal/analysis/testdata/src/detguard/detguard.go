@@ -1,0 +1,54 @@
+// Package detguard is the golden fixture for the detguard analyzer.
+package detguard
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badWallClock() int64 {
+	return time.Now().Unix() // want "time.Now in a deterministic package"
+}
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func badMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appending during map iteration"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func cleanSeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func cleanSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanReduction(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func cleanExplicitTime(t time.Time) int64 {
+	return t.Unix()
+}

@@ -1,0 +1,51 @@
+// Package errclose is the golden fixture for the errclose analyzer.
+package errclose
+
+type sink struct{}
+
+func (sink) Close() error                { return nil }
+func (sink) Flush() error                { return nil }
+func (sink) Sync() error                 { return nil }
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+func (sink) Name() string                { return "sink" }
+
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func badStatements(s sink) {
+	s.Flush() // want "s.Flush returns an error that is dropped"
+	s.Close() // want "s.Close returns an error that is dropped"
+	s.Write(nil) // want "s.Write returns an error that is dropped"
+}
+
+func badDefer(s sink) {
+	defer s.Close() // want "defer s.Close returns an error that is dropped"
+	s.Sync() // want "s.Sync returns an error that is dropped"
+}
+
+func badInsideClosure(s sink) {
+	defer func() {
+		s.Close() // want "s.Close returns an error that is dropped"
+	}()
+}
+
+func cleanHandled(s sink) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if _, err := s.Write(nil); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func cleanExplicitDiscard(s sink) {
+	defer func() { _ = s.Close() }()
+	_ = s.Name()
+}
+
+func cleanNoError(q quiet) {
+	q.Close()
+	defer q.Close()
+}

@@ -1,0 +1,56 @@
+// Package floatcmp is the golden fixture for the floatcmp analyzer.
+package floatcmp
+
+type thresholds struct{ lo, hi float64 }
+
+type nested struct{ t thresholds }
+
+func badEqual(a, b float64) bool {
+	return a == b // want "float comparison"
+}
+
+func badNotEqual(a, b float64) bool {
+	return a != b // want "float comparison"
+}
+
+func badConstCompare(amp float64) bool {
+	return amp == 3.0 // want "float comparison"
+}
+
+func badStruct(t, u thresholds) bool {
+	return t == u // want "compares float fields"
+}
+
+func badNested(n, m nested) bool {
+	return n != m // want "compares float fields"
+}
+
+var badMap map[float64]int // want "map keyed by float"
+
+func badMapMake() any {
+	return make(map[float64]bool) // want "map keyed by float"
+}
+
+func cleanZeroSentinel(frac float64) float64 {
+	if frac == 0 {
+		frac = 0.5
+	}
+	return frac
+}
+
+func cleanEpsilon(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func cleanInts(n, m int) bool {
+	return n == m
+}
+
+func cleanOrdered(a, b float64) bool {
+	return a < b
+}

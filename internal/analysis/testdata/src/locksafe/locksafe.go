@@ -1,0 +1,71 @@
+// Package locksafe is the golden fixture for the locksafe analyzer.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	m  map[string]int
+}
+
+type wrapper struct {
+	c counter
+}
+
+func badParam(c counter) int { // want "parameter of type counter passes a lock by value"
+	return c.n
+}
+
+func badNested(w wrapper) int { // want "parameter of type wrapper passes a lock by value"
+	return w.c.n
+}
+
+func badResult() (c counter) { // want "result of type counter passes a lock by value"
+	return
+}
+
+func (c counter) badReceiver() int { // want "receiver of type counter passes a lock by value"
+	return c.n
+}
+
+func (c *counter) badUnguardedWrite() {
+	c.n++ // want "write to c.n without holding"
+}
+
+func (c *counter) badUnguardedMapWrite(k string) {
+	c.m[k] = 1 // want "write to c.m without holding"
+}
+
+type rwCounter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *rwCounter) badWriteUnderRLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.n = 1 // want "under RLock"
+}
+
+func (c *counter) cleanGuardedWrite() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (r *rwCounter) cleanReadUnderRLock() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func cleanPointerParam(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,81 @@
+// Package nanguard is the golden fixture for the nanguard analyzer.
+package nanguard
+
+import (
+	"math"
+	"sort"
+)
+
+func badSort(xs []float64) {
+	sort.Float64s(xs) // want "sort.Float64s on a float slice"
+}
+
+func badSortSlice(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "float less-func"
+}
+
+func badMinReduction(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m { // want "min/max reduction"
+			m = v
+		}
+	}
+	return m
+}
+
+func badMaxReduction(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m { // want "min/max reduction"
+			m = v
+		}
+	}
+	return m
+}
+
+func cleanFilteredSort(xs []float64) []float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	sort.Float64s(clean)
+	return clean
+}
+
+func cleanGuardedMin(xs []float64) float64 {
+	m := math.NaN()
+	for _, v := range xs {
+		if math.IsNaN(m) || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func cleanIntSort(xs []int) int {
+	sort.Ints(xs)
+	m := xs[0]
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func cleanHelperDelegation(xs []float64) []float64 {
+	return dropNaN(xs)
+}
+
+func dropNaN(xs []float64) []float64 {
+	out := xs[:0]
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

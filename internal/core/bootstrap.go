@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
@@ -89,7 +90,7 @@ func BootstrapAmplitude(perProbe []*timeseries.Series, opts BootstrapOptions) (*
 			resample[i] = perProbe[rng.Intn(len(perProbe))]
 		}
 		cls, err := classifyPopulation(resample)
-		if err != nil {
+		if err != nil || math.IsNaN(cls.DailyAmplitude) {
 			continue
 		}
 		amps = append(amps, cls.DailyAmplitude)

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/last-mile-congestion/lastmile/internal/dsp"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
@@ -66,17 +67,34 @@ func DefaultThresholds() Thresholds {
 	return Thresholds{Low: 0.5, Mild: 1, Severe: 3}
 }
 
-// Validate checks that the thresholds are positive and ordered.
+// Validate checks that the thresholds are positive, finite, and
+// ordered. NaN must be rejected explicitly: NaN fails every ordered
+// comparison, so a NaN threshold would otherwise slip through the
+// ordering check and silently classify everything as None.
 func (t Thresholds) Validate() error {
+	if math.IsNaN(t.Low) || math.IsNaN(t.Mild) || math.IsNaN(t.Severe) {
+		return fmt.Errorf("core: thresholds must not be NaN, got %+v", t)
+	}
 	if t.Low <= 0 || t.Mild <= t.Low || t.Severe <= t.Mild {
 		return fmt.Errorf("core: thresholds must satisfy 0 < Low < Mild < Severe, got %+v", t)
 	}
 	return nil
 }
 
-// classify maps a daily amplitude to a class.
+// isZero reports whether no threshold was set. Each field is compared to
+// the 0 zero-value sentinel individually rather than comparing the whole
+// struct with ==, which would be NaN-unsafe; a NaN field reads as "set"
+// and is then rejected by Validate.
+func (t Thresholds) isZero() bool {
+	return t.Low == 0 && t.Mild == 0 && t.Severe == 0
+}
+
+// classify maps a daily amplitude to a class. A NaN amplitude fails
+// every ordered comparison and deliberately lands on None: an
+// uncomputable amplitude must not report congestion (§2.3's thresholds
+// only promote an AS on positive evidence).
 func (t Thresholds) classify(amp float64, isDaily bool) Class {
-	if !isDaily {
+	if !isDaily || math.IsNaN(amp) {
 		return None
 	}
 	switch {
@@ -136,7 +154,7 @@ func Classify(signal *timeseries.Series, opts ClassifierOptions) (Classification
 	if signal == nil || signal.Len() == 0 {
 		return Classification{}, errors.New("core: empty signal")
 	}
-	if opts.Thresholds == (Thresholds{}) {
+	if opts.Thresholds.isZero() {
 		opts.Thresholds = DefaultThresholds()
 	}
 	if err := opts.Thresholds.Validate(); err != nil {

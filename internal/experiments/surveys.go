@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"github.com/last-mile-congestion/lastmile/internal/apnic"
@@ -91,8 +92,10 @@ func Fig3From(set *SurveySet) *Fig3Result {
 		var freqs, amps []float64
 		var counts [4]int
 		for _, res := range s.Results {
-			freqs = append(freqs, res.Peak.Freq)
-			if !res.IsDaily {
+			if !math.IsNaN(res.Peak.Freq) {
+				freqs = append(freqs, res.Peak.Freq)
+			}
+			if !res.IsDaily || math.IsNaN(res.DailyAmplitude) {
 				continue
 			}
 			amps = append(amps, res.DailyAmplitude)

@@ -1,0 +1,31 @@
+package ioutil
+
+import "io"
+
+// CloseJoin closes c and, when no earlier error is pending, records the
+// close error into *err. Written files must be closed this way: buffered
+// data is flushed at Close, so dropping its error can turn a short write
+// or a full disk into a silently truncated output file.
+//
+// Use with a named return value:
+//
+//	func write(path string) (err error) {
+//		f, err := os.Create(path)
+//		if err != nil {
+//			return err
+//		}
+//		defer ioutil.CloseJoin(f, &err)
+//		...
+//	}
+func CloseJoin(c io.Closer, err *error) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}
+
+// CloseQuiet closes c and explicitly discards the error — appropriate
+// only for read-only streams, where everything read has already been
+// validated and a close failure cannot lose data.
+func CloseQuiet(c io.Closer) {
+	_ = c.Close()
+}

@@ -36,10 +36,7 @@ type AggregationDevice struct {
 // when demand is 1), floored at BaseUtilization.
 func (d *AggregationDevice) UtilizationAt(t time.Time) float64 {
 	u := d.PeakUtilization * d.Profile.DemandAt(t)
-	if u < d.BaseUtilization {
-		u = d.BaseUtilization
-	}
-	return u
+	return max(u, d.BaseUtilization)
 }
 
 // MeanQueueDelayAt returns the expected queuing delay in ms at time t.
@@ -74,21 +71,12 @@ func (d *AggregationDevice) ThroughputAt(t time.Time, rng *rand.Rand) float64 {
 		// §4 — a few milliseconds of (shallow-buffer) queueing delay
 		// coinciding with halved throughput. Floored at 1/8 of the
 		// access rate.
-		thr = d.AccessMbps / (rho * rho * rho)
-		if floor := d.AccessMbps / 8; thr < floor {
-			thr = floor
-		}
+		thr = max(d.AccessMbps/(rho*rho*rho), d.AccessMbps/8)
 	}
 	// Per-download variation: server pacing, TCP dynamics, home Wi-Fi.
 	noise := Lognormal(rng, 0, 0.18)
 	thr *= noise
-	if thr > d.AccessMbps*1.05 {
-		thr = d.AccessMbps * 1.05
-	}
-	if thr < 0.1 {
-		thr = 0.1
-	}
-	return thr
+	return min(max(thr, 0.1), d.AccessMbps*1.05)
 }
 
 // ConstantDelay is a DelaySource adding a fixed mean delay with small

@@ -56,10 +56,7 @@ func SimulateMM1(rho, serviceMs, bufferMs float64, packets int, rng *rand.Rand) 
 			// service demand.
 			drops++
 			// Advance time to the next arrival anyway.
-			wait -= rng.ExpFloat64() * meanInterArrival
-			if wait < 0 {
-				wait = 0
-			}
+			wait = max(wait-rng.ExpFloat64()*meanInterArrival, 0)
 			continue
 		}
 		w := wait
@@ -67,10 +64,7 @@ func SimulateMM1(rho, serviceMs, bufferMs float64, packets int, rng *rand.Rand) 
 		waits = append(waits, w)
 		service := rng.ExpFloat64() * serviceMs
 		interArrival := rng.ExpFloat64() * meanInterArrival
-		wait = wait + service - interArrival
-		if wait < 0 {
-			wait = 0
-		}
+		wait = max(wait+service-interArrival, 0)
 	}
 	admitted := packets - drops
 	if admitted == 0 {

@@ -102,13 +102,7 @@ func (p DiurnalProfile) DemandAt(t time.Time) float64 {
 	}
 
 	demand := p.BaseLevel + (1-p.BaseLevel)*math.Max(peak, daytime*day)
-	if demand > 1 {
-		demand = 1
-	}
-	if demand < 0 {
-		demand = 0
-	}
-	return demand
+	return min(max(demand, 0), 1)
 }
 
 // PeakDemandWindow reports whether t falls within the profile's nominal

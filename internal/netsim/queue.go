@@ -57,11 +57,7 @@ func (q QueueModel) SampleDelay(rho float64, rng *rand.Rand) float64 {
 	// Multiplicative noise keeps small delays small and lets congested
 	// samples spread, like real queue occupancy does.
 	noise := math.Exp(rng.NormFloat64()*q.JitterFrac - q.JitterFrac*q.JitterFrac/2)
-	d := mean * noise
-	if max := 2 * q.BufferMs; d > max {
-		d = max
-	}
-	return d
+	return min(mean*noise, 2*q.BufferMs)
 }
 
 // LossProb returns the packet-loss probability at utilisation rho: zero

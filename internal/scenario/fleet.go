@@ -100,14 +100,8 @@ func BuildFleetAF(network *isp.Network, devices *isp.DeviceSet, n int, idBase in
 // FleetSizeFor scales a nominal fleet size to a period, reproducing the
 // platform's deployment growth (Fig. 1's per-period probe counts).
 func FleetSizeFor(nominal int, p Period) int {
-	frac := 0.82 + 0.028*float64(periodOrdinal(p))
-	if frac > 1 {
-		frac = 1
-	}
-	n := int(float64(nominal) * frac)
-	if n < 3 {
-		n = 3
-	}
+	frac := min(0.82+0.028*float64(periodOrdinal(p)), 1)
+	n := max(int(float64(nominal)*frac), 3)
 	return n
 }
 

@@ -38,10 +38,7 @@ func (w *World) ProbesFor(a *ASInfo, p Period) ([]*atlas.Probe, error) {
 	}
 	devices := network.BuildDevices(netsim.MixSeed(w.Seed, PeriodIndex(p)), p.COVIDShift)
 	ordinal := periodOrdinal(p)
-	activeProb := 0.78 + 0.03*float64(ordinal)
-	if activeProb > 0.98 {
-		activeProb = 0.98
-	}
+	activeProb := min(0.78+0.03*float64(ordinal), 0.98)
 	var probes []*atlas.Probe
 	for slot := 0; slot < a.BaseProbes; slot++ {
 		slotRng := netsim.DerivedRand(w.Seed, uint64(a.Network.ASN), uint64(slot), 0xdeb)

@@ -431,10 +431,7 @@ func drawUsers(a archetype, i int, rng *rand.Rand) int64 {
 	case a >= archNearMiss:
 		return int64(150_000 + rng.Intn(8_000_000))
 	default:
-		u := netsim.Lognormal(rng, 11, 2.2) // median ≈ 60k users
-		if u > 40_000_000 {
-			u = 40_000_000
-		}
+		u := min(netsim.Lognormal(rng, 11, 2.2), 40_000_000) // median ≈ 60k users
 		return int64(u) + 50
 	}
 }

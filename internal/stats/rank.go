@@ -17,17 +17,25 @@ var ErrTooFew = errors.New("stats: need at least two observation pairs")
 // Ranks returns the fractional (mid) ranks of xs, 1-based: the smallest
 // value has rank 1 and ties receive the average of the ranks they span.
 // This is the tie handling required by Spearman's rank correlation.
+// NaN values receive rank NaN and do not occupy a rank; comparing a NaN
+// inside the sort would otherwise place it at an arbitrary position.
 func Ranks(xs []float64) []float64 {
 	n := len(xs)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	ranks := make([]float64, n)
+	idx := make([]int, 0, n)
+	for i, v := range xs {
+		if math.IsNaN(v) {
+			ranks[i] = math.NaN()
+			continue
+		}
+		idx = append(idx, i)
 	}
 	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	ranks := make([]float64, n)
-	for i := 0; i < n; {
+	m := len(idx)
+	for i := 0; i < m; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		// The slice is ascending, so "not greater" means tied with i.
+		for j+1 < m && xs[idx[j+1]] <= xs[idx[i]] {
 			j++
 		}
 		// Positions i..j (0-based) are tied; average 1-based rank.
@@ -128,7 +136,8 @@ func (e *ECDF) Points() (xs, fs []float64) {
 	n := len(e.sorted)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && e.sorted[j+1] == e.sorted[i] {
+		// The slice is ascending, so "not greater" means equal to i.
+		for j+1 < n && e.sorted[j+1] <= e.sorted[i] {
 			j++
 		}
 		xs = append(xs, e.sorted[i])

@@ -51,9 +51,7 @@ func medianInPlace(xs []float64) float64 {
 	// xs[:n/2] are <= hi; the lower middle is their maximum.
 	lo := xs[0]
 	for _, v := range xs[1 : n/2] {
-		if v > lo {
-			lo = v
-		}
+		lo = max(lo, v)
 	}
 	return midpoint(lo, hi)
 }
@@ -155,30 +153,28 @@ func MeanIgnoringNaN(xs []float64) float64 {
 	return sum / float64(n)
 }
 
-// Min returns the minimum of xs.
+// Min returns the minimum of xs. If xs contains a NaN the result is NaN,
+// regardless of its position; use MinIgnoringNaN to skip gap values.
 func Min(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	m := xs[0]
 	for _, v := range xs[1:] {
-		if v < m {
-			m = v
-		}
+		m = min(m, v)
 	}
 	return m, nil
 }
 
-// Max returns the maximum of xs.
+// Max returns the maximum of xs. If xs contains a NaN the result is NaN,
+// regardless of its position; use MaxIgnoringNaN to skip gap values.
 func Max(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	m := xs[0]
 	for _, v := range xs[1:] {
-		if v > m {
-			m = v
-		}
+		m = max(m, v)
 	}
 	return m, nil
 }

@@ -499,3 +499,50 @@ func BenchmarkSpearman1000(b *testing.B) {
 		}
 	}
 }
+
+// TestMinMaxNaNPropagation pins the documented NaN contract: a NaN
+// anywhere in the input makes Min and Max return NaN, independent of its
+// position. The previous comparison-loop implementation returned NaN
+// only when the NaN happened to sit at index 0.
+func TestMinMaxNaNPropagation(t *testing.T) {
+	inputs := [][]float64{
+		{math.NaN(), 1, 2},
+		{1, math.NaN(), 2},
+		{1, 2, math.NaN()},
+	}
+	for _, xs := range inputs {
+		mn, err := Min(xs)
+		if err != nil || !math.IsNaN(mn) {
+			t.Errorf("Min(%v) = %v, %v; want NaN, nil", xs, mn, err)
+		}
+		mx, err := Max(xs)
+		if err != nil || !math.IsNaN(mx) {
+			t.Errorf("Max(%v) = %v, %v; want NaN, nil", xs, mx, err)
+		}
+	}
+}
+
+// TestRanksNaN pins the NaN contract of Ranks: NaN inputs receive rank
+// NaN, do not occupy a rank, and leave the remaining values ranked
+// exactly as if the NaNs were absent.
+func TestRanksNaN(t *testing.T) {
+	got := Ranks([]float64{3, math.NaN(), 1, 2, math.NaN()})
+	want := []float64{3, math.NaN(), 1, 2, math.NaN()}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 0) {
+			t.Errorf("rank[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRanksAllNaN covers the degenerate all-NaN input.
+func TestRanksAllNaN(t *testing.T) {
+	for _, r := range Ranks([]float64{math.NaN(), math.NaN()}) {
+		if !math.IsNaN(r) {
+			t.Errorf("rank = %v, want NaN", r)
+		}
+	}
+}

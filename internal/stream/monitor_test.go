@@ -3,6 +3,7 @@ package stream
 import (
 	"math"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,5 +221,61 @@ func TestVerdictAmplitudeSane(t *testing.T) {
 	// A 6h/day 4 ms square bump has daily fundamental p2p ≈ 3.6 ms.
 	if math.Abs(v.DailyAmplitude-3.6) > 0.8 {
 		t.Fatalf("amplitude = %.2f, want ~3.6", v.DailyAmplitude)
+	}
+}
+
+// TestMonitorConcurrentReadersAndWriters drives writers and every read
+// path at once — Observe against ClassifyAS, ClassifyAll, ASNs, and
+// Stats — so `go test -race` exercises the monitor's full locking
+// discipline, not just concurrent ingestion.
+func TestMonitorConcurrentReadersAndWriters(t *testing.T) {
+	m := NewMonitor(Options{Window: 3 * 24 * time.Hour})
+	// Seed enough state that classification does real work while
+	// writers keep mutating the window.
+	feedDiurnal(t, m, 64500, 2, 3, 5)
+
+	const writers, readers, perGoroutine = 4, 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				ts := t0.AddDate(0, 0, 3).Add(time.Duration(i) * time.Minute)
+				if err := m.Observe(bgp.ASN(64500+g%2), mkTrace(10+g, ts, 2)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				switch i % 4 {
+				case 0:
+					if _, err := m.ClassifyAS(64500); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					m.ClassifyAll()
+				case 2:
+					if asns := m.ASNs(); len(asns) == 0 {
+						t.Error("no ASNs while state is live")
+						return
+					}
+				case 3:
+					m.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ingested, dropped := m.Stats()
+	if want := writers*perGoroutine + 3*24*6*2; ingested+dropped < want {
+		t.Fatalf("ingested+dropped = %d, want >= %d", ingested+dropped, want)
 	}
 }

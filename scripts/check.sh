@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# check.sh — the pre-PR gate. Chains the build, go vet, the repo's own
+# lmvet static-analysis suite, and the full test run under the race
+# detector. Any stage failing fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> lmvet ./..."
+go run ./cmd/lmvet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
