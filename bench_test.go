@@ -9,11 +9,17 @@
 package lastmile_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	"github.com/last-mile-congestion/lastmile/internal/experiments"
 )
+
+// workerCounts are the fan-out widths the parallel benches compare: the
+// serial baseline against a modest pool. Output is bit-identical across
+// the two, so the delta is pure scheduling.
+var workerCounts = []int{1, 4}
 
 // benchOpts is the reduced scale shared by all benches.
 func benchOpts() experiments.Options {
@@ -75,14 +81,20 @@ func benchSurveySet(b *testing.B) *experiments.SurveySet {
 }
 
 // BenchmarkSurveys measures the end-to-end survey pipeline itself: the
-// world's ASes measured and classified for all seven periods.
+// world's ASes measured and classified for all seven periods, at the
+// serial baseline and on a 4-worker pool.
 func BenchmarkSurveys(b *testing.B) {
-	o := benchOpts()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunSurveys(o); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunSurveys(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -138,14 +150,19 @@ func benchTokyoSet(b *testing.B) *experiments.TokyoSet {
 
 // BenchmarkTokyo measures the end-to-end §4 case study: delays for 21
 // probes plus CDN log generation and throughput estimation for six
-// service arms.
+// service arms, at the serial baseline and on a 4-worker pool.
 func BenchmarkTokyo(b *testing.B) {
-	o := benchOpts()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTokyo(o); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTokyo(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

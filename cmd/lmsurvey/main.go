@@ -11,19 +11,26 @@
 //
 //	atlasgen -isp A -days 8 | lmsurvey
 //	lmsurvey -in traces.jsonl -rib rib.txt -csv signals/
+//	lmsurvey -in traces.jsonl -workers 8
+//
+// The per-AS pipeline fans out over -workers goroutines (default
+// GOMAXPROCS); the report is byte-identical at any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
 	lastmile "github.com/last-mile-congestion/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/ioutil"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 )
 
@@ -33,15 +40,19 @@ func main() {
 		ribIn    = flag.String("rib", "", "optional RIB file ('prefix origin' lines) for probe->AS mapping")
 		probesIn = flag.String("probes", "", "optional probe metadata file (Atlas probe-archive JSON) for probe->AS mapping and anchor exclusion")
 		csvDir   = flag.String("csv", "", "optional directory for per-AS signal CSV dumps")
+		workers  = flag.Int("workers", 0, "worker goroutines for the per-AS pipeline (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *probesIn, *csvDir); err != nil {
+	if err := run(*in, *ribIn, *probesIn, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "lmsurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, ribIn, probesIn, csvDir string) error {
+func run(in, ribIn, probesIn, csvDir string, workers int) error {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -151,38 +162,60 @@ func run(in, ribIn, probesIn, csvDir string) error {
 		asns = append(asns, asn)
 	}
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-	for _, asn := range asns {
-		group := byAS[asn]
-		var accs []*lastmile.ProbeAccumulator
+
+	// The per-AS pipelines are independent; fan them out and keep the
+	// table in sorted-ASN order. Each AS's verdict depends only on its
+	// own probes, so the output is identical at any worker count.
+	type asVerdict struct {
+		signal      *lastmile.Series // nil when no usable data
+		n           int
+		cls         lastmile.Classification
+		classifyErr error
+	}
+	verdicts, err := parallel.Map(context.Background(), workers, len(asns), func(i int) (asVerdict, error) {
+		group := byAS[asns[i]]
+		accs := make([]*lastmile.ProbeAccumulator, 0, len(group))
 		for _, pd := range group {
 			acc, err := lastmile.NewProbeAccumulator(pd.results[0].ProbeID, start, end, lastmile.DefaultBinWidth)
 			if err != nil {
-				return err
+				return asVerdict{}, err
 			}
 			for _, res := range pd.results {
 				if err := acc.Add(res); err != nil {
-					return err
+					return asVerdict{}, err
 				}
 			}
 			accs = append(accs, acc)
 		}
 		signal, n, err := lastmile.PopulationDelay(accs, lastmile.DefaultMinTraceroutes)
 		if err != nil {
-			tb.AddRowf(asn.String(), len(group), "(no usable data)", "-", "-", "")
-			continue
+			return asVerdict{}, nil // no usable data; keep the row
 		}
 		cls, err := lastmile.Classify(signal, lastmile.DefaultClassifierOptions())
 		if err != nil {
-			tb.AddRowf(asn.String(), n, fmt.Sprintf("(unclassifiable: %v)", err), "-", "-", "")
-			continue
+			return asVerdict{signal: signal, n: n, classifyErr: err}, nil
 		}
-		tb.AddRowf(asn.String(), n, cls.Class.String(),
-			fmt.Sprintf("%.2f", cls.DailyAmplitude),
-			fmt.Sprintf("%.3f", cls.Peak.Freq),
-			report.Sparkline(report.Downsample(signal.Values, 48), 0))
-		if csvDir != "" {
-			if err := dumpCSV(csvDir, asn, signal); err != nil {
-				return err
+		return asVerdict{signal: signal, n: n, cls: cls}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, asn := range asns {
+		v := verdicts[i]
+		switch {
+		case v.signal == nil:
+			tb.AddRowf(asn.String(), len(byAS[asn]), "(no usable data)", "-", "-", "")
+		case v.classifyErr != nil:
+			tb.AddRowf(asn.String(), v.n, fmt.Sprintf("(unclassifiable: %v)", v.classifyErr), "-", "-", "")
+		default:
+			tb.AddRowf(asn.String(), v.n, v.cls.Class.String(),
+				fmt.Sprintf("%.2f", v.cls.DailyAmplitude),
+				fmt.Sprintf("%.3f", v.cls.Peak.Freq),
+				report.Sparkline(report.Downsample(v.signal.Values, 48), 0))
+			if csvDir != "" {
+				if err := dumpCSV(csvDir, asn, v.signal); err != nil {
+					return err
+				}
 			}
 		}
 	}

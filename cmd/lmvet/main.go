@@ -1,8 +1,9 @@
 // Command lmvet runs the repo-specific static-analysis suite over the
 // last-mile congestion codebase: NaN-unsafe float comparisons, unguarded
 // float sorts and reductions, nondeterminism in the simulation packages,
-// lock misuse in the streaming monitor, and dropped Close/Flush errors
-// on the ingest/report paths.
+// lock misuse in the streaming monitor, goroutine fan-out that bypasses
+// the worker-pool index discipline, and dropped Close/Flush errors on
+// the ingest/report paths.
 //
 // Usage:
 //

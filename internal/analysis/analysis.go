@@ -8,9 +8,10 @@
 // NaN-unsafe float comparisons (floatcmp), NaN propagation through sorts
 // and min/max reductions (nanguard), nondeterminism in the simulation
 // packages that must reproduce EXPERIMENTS.md bit-for-bit (detguard),
-// lock misuse in the concurrent streaming monitor (locksafe), and
-// dropped Close/Flush/Write errors on the ingest/report paths
-// (errclose).
+// lock misuse in the concurrent streaming monitor (locksafe),
+// goroutine fan-out that bypasses the worker-pool index discipline
+// (poolsafe), and dropped Close/Flush/Write errors on the
+// ingest/report paths (errclose).
 package analysis
 
 import (
@@ -88,6 +89,7 @@ func All() []*Analyzer {
 		DetGuardAnalyzer,
 		LockSafeAnalyzer,
 		ErrCloseAnalyzer,
+		PoolSafeAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

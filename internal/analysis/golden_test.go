@@ -84,3 +84,4 @@ func TestNaNGuardGolden(t *testing.T)  { testGolden(t, NaNGuardAnalyzer, "nangua
 func TestDetGuardGolden(t *testing.T)  { testGolden(t, DetGuardAnalyzer, "detguard") }
 func TestLockSafeGolden(t *testing.T)  { testGolden(t, LockSafeAnalyzer, "locksafe") }
 func TestErrCloseGolden(t *testing.T)  { testGolden(t, ErrCloseAnalyzer, "errclose") }
+func TestPoolSafeGolden(t *testing.T)  { testGolden(t, PoolSafeAnalyzer, "poolsafe") }

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafeAnalyzer vets hand-rolled goroutine fan-out against the
+// worker-pool discipline internal/parallel encodes: a goroutine's share
+// of the work is identified either by arguments evaluated at spawn time
+// or by indices it receives itself (for i := range ch). Two patterns
+// break that discipline and corrupt results without failing any
+// single-run test:
+//
+//   - a `go func(){...}()` closure that reads an enclosing loop
+//     variable, racing the spawner's next iteration (and, even with
+//     per-iteration loop scoping, hiding which iteration the goroutine
+//     serves);
+//   - a write to a shared slice or map element, s[i] = v, where both
+//     the container and every variable in the index were declared
+//     outside the closure — nothing ties the write to this goroutine's
+//     lane, so two workers can target the same element.
+//
+// Writes indexed by closure-local variables (the pool pattern) or by
+// constants (one goroutine per fixed slot) pass.
+var PoolSafeAnalyzer = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags goroutine closures capturing loop variables or writing shared elements at outside-computed indices",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		loopVars := loopVarObjects(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				checkGoClosure(pass, loopVars, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// loopVarObjects collects every variable declared by a for/range
+// statement in the file.
+func loopVarObjects(pass *Pass, f *ast.File) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	define := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				define(s.Key)
+			}
+			if s.Value != nil {
+				define(s.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					define(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkGoClosure inspects one go-statement closure body for captured
+// loop variables and for shared-element writes at outside indices.
+func checkGoClosure(pass *Pass, loopVars map[types.Object]bool, lit *ast.FuncLit) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj != nil && loopVars[obj] && !declaredInside(obj, lit) && !reported[obj] {
+				reported[obj] = true
+				pass.Reportf(n.Pos(), "goroutine closure captures loop variable %s; pass it as an argument or receive work from a channel", n.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkSharedIndexWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSharedIndexWrite(pass, lit, n.X)
+		}
+		return true
+	})
+}
+
+// checkSharedIndexWrite flags lhs when it writes an element of an
+// outside-declared slice or map through an index computed entirely from
+// outside-declared variables.
+func checkSharedIndexWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[base]
+	if obj == nil || declaredInside(obj, lit) {
+		return
+	}
+	t := pass.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	var kind string
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		kind = "slice"
+	case *types.Map:
+		kind = "map"
+	default:
+		return
+	}
+	inside, outside := indexVarOrigins(pass, lit, idx.Index)
+	if inside || !outside {
+		// Closure-local variables in the index mean the goroutine picked
+		// its own lane; a pure-constant index means one fixed slot.
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to shared %s %s at an index computed outside the goroutine; receive indices inside the worker (for i := range ch) or pass them as arguments", kind, base.Name)
+}
+
+// indexVarOrigins reports whether the index expression mentions
+// variables declared inside and/or outside the closure.
+func indexVarOrigins(pass *Pass, lit *ast.FuncLit, index ast.Expr) (inside, outside bool) {
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+			if declaredInside(v, lit) {
+				inside = true
+			} else {
+				outside = true
+			}
+		}
+		return true
+	})
+	return inside, outside
+}
+
+// declaredInside reports whether obj's declaration lies within the
+// closure, parameters included.
+func declaredInside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}

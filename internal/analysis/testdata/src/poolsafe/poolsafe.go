@@ -1,0 +1,113 @@
+// Package poolsafe is the golden fixture for the poolsafe analyzer.
+package poolsafe
+
+import "sync"
+
+func compute(i int) int { return i * i }
+
+// badLoopCapture reads the range variable from inside the goroutine.
+func badLoopCapture(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute(it) // want "captures loop variable it"
+		}()
+	}
+	wg.Wait()
+}
+
+// badThreeClauseCapture captures the classic for-loop counter.
+func badThreeClauseCapture(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			compute(i) // want "captures loop variable i"
+		}()
+	}
+}
+
+// badSharedIndexWrite both captures the loop variable and writes the
+// shared result slice through it.
+func badSharedIndexWrite(out []int) {
+	for i := range out {
+		go func() {
+			out[i] = compute(i) // want "captures loop variable i" want "write to shared slice out"
+		}()
+	}
+}
+
+// badOuterIndexWrite writes through a non-loop variable that lives
+// outside the closure: nothing ties the write to this goroutine.
+func badOuterIndexWrite(out []int, next int) {
+	go func() {
+		out[next] = 1 // want "write to shared slice out"
+	}()
+}
+
+// badSharedMapWrite targets a map: concurrent writes corrupt it even
+// when the keys differ.
+func badSharedMapWrite(m map[int]int, k int) {
+	go func() {
+		m[k] = 1 // want "write to shared map m"
+	}()
+}
+
+// cleanWorkerPool is the sanctioned pattern: workers receive their
+// indices from a channel, so the index variable is closure-local.
+func cleanWorkerPool(out []int, workers int) {
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = compute(i)
+			}
+		}()
+	}
+	for i := range out {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// cleanArgPass evaluates the loop variable at spawn time.
+func cleanArgPass(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = compute(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// cleanFixedSlots gives each goroutine its own constant slot.
+func cleanFixedSlots(out []int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out[0] = compute(0)
+	}()
+	go func() {
+		defer wg.Done()
+		out[1] = compute(1)
+	}()
+	wg.Wait()
+}
+
+// cleanLocalSlice appends to a closure-local buffer; no sharing.
+func cleanLocalSlice() {
+	go func() {
+		local := make([]int, 4)
+		for i := range local {
+			local[i] = compute(i)
+		}
+	}()
+}

@@ -147,9 +147,16 @@ func transitAddr(dst netip.Addr, i int) netip.Addr {
 // index so that an offline window drops all its traceroutes — which is
 // what the paper's <3-traceroutes sanity filter exists to catch.
 func (p *Probe) OnlineAt(t time.Time, seed uint64) bool {
+	return p.OnlineAtStream(t, seed, netsim.NewStream())
+}
+
+// OnlineAtStream is OnlineAt for hot loops: it draws through the
+// caller's reusable Stream instead of allocating a PRNG per window. The
+// stream is re-keyed first, so the answer is identical to OnlineAt's.
+func (p *Probe) OnlineAtStream(t time.Time, seed uint64, stream *netsim.Stream) bool {
 	window := uint64(t.Unix() / 1800)
-	rng := netsim.DerivedRand(seed, uint64(p.ID), window, 0xA11E)
-	return rng.Float64() < p.Availability
+	stream.Derive(seed, uint64(p.ID), window, 0xA11E)
+	return stream.Float64() < p.Availability
 }
 
 // Trace executes one traceroute to target at time t and returns the

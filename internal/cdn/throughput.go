@@ -134,6 +134,36 @@ func (e *Estimator) accept(entry *LogEntry) bool {
 	return true
 }
 
+// Merge folds other — an estimator with the same configuration and
+// range, fed a different slice of the log stream — into e. Per-IP
+// accumulators are summed bin by bin. When no client address appears in
+// more than one shard (the Tokyo arms draw clients from disjoint
+// prefixes), the merged estimator is exactly what a single estimator
+// fed the whole stream would hold: per-IP sums then see the same adds
+// in the same order, and Series sorts per-IP means before the median,
+// so shard order cannot show through.
+func (e *Estimator) Merge(other *Estimator) {
+	for i, bin := range other.bins {
+		if bin == nil {
+			continue
+		}
+		if e.bins[i] == nil {
+			e.bins[i] = make(map[netip.Addr]*ipAccum, len(bin))
+		}
+		for ip, acc := range bin {
+			dst := e.bins[i][ip]
+			if dst == nil {
+				dst = &ipAccum{}
+				e.bins[i][ip] = dst
+			}
+			dst.sum += acc.sum
+			dst.n += acc.n
+		}
+	}
+	e.Accepted += other.Accepted
+	e.Rejected += other.Rejected
+}
+
 // Series returns the per-bin median of per-IP mean throughput in Mbit/s.
 // Bins with fewer than minIPs distinct clients become gaps.
 func (e *Estimator) Series(minIPs int) *timeseries.Series {

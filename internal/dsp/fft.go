@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // ErrEmpty is returned when a transform is requested on an empty input.
@@ -72,6 +73,42 @@ func FFTReal(x []float64) ([]complex128, error) {
 	return FFT(cx)
 }
 
+// twiddleTables holds the butterfly factors for a radix-2 transform of
+// one size, flattened stage by stage (1 + 2 + ... + n/2 = n-1 entries).
+// fwd holds the exp(-iθ) factors; inv holds their conjugates, which are
+// bit-identical to the exp(+iθ) factors the inverse transform computed
+// before caching (cos is even and sin is odd, bit-exactly, in math.Cos
+// and math.Sin). Tables are computed once per size and shared read-only
+// across goroutines.
+type twiddleTables struct {
+	fwd, inv []complex128
+}
+
+var twiddleCache sync.Map // transform size -> *twiddleTables
+
+func twiddlesFor(n int) *twiddleTables {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.(*twiddleTables)
+	}
+	t := &twiddleTables{
+		fwd: make([]complex128, 0, n-1),
+		inv: make([]complex128, 0, n-1),
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		// Kept as sign * 2π/size (not -2π/size) so every intermediate
+		// matches the pre-cache per-butterfly expression bit for bit.
+		step := -1.0 * 2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			w := cmplx.Rect(1, step*float64(k))
+			t.fwd = append(t.fwd, w)
+			t.inv = append(t.inv, cmplx.Conj(w))
+		}
+	}
+	v, _ := twiddleCache.LoadOrStore(n, t)
+	return v.(*twiddleTables)
+}
+
 // fftRadix2 computes an in-place iterative radix-2 FFT. len(x) must be a
 // power of two. If inverse is true the conjugate transform is computed
 // (without the 1/N normalisation).
@@ -88,21 +125,20 @@ func fftRadix2(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
+	tables := twiddlesFor(n)
+	tw := tables.fwd
 	if inverse {
-		sign = 1.0
+		tw = tables.inv
 	}
+	pos := 0
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// w = exp(i*step) computed once per stage; twiddles advance by
-		// repeated multiplication, re-derived per block for accuracy.
+		stage := tw[pos : pos+half]
+		pos += half
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
-				angle := step * float64(k)
-				w := cmplx.Rect(1, angle)
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+half] * stage[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
 			}
@@ -110,11 +146,29 @@ func fftRadix2(x []complex128, inverse bool) {
 	}
 }
 
-// bluestein computes the DFT of x for arbitrary length via the chirp-z
-// transform, expressing the DFT as a convolution evaluated with a
-// power-of-two FFT.
-func bluestein(x []complex128, inverse bool) ([]complex128, error) {
-	n := len(x)
+// bluesteinPlan caches everything about a chirp-z transform that depends
+// only on (length, direction): the chirp sequence and the forward FFT of
+// the convolution kernel b. Plans are shared read-only across goroutines.
+type bluesteinPlan struct {
+	// m is the power-of-two convolution length (next power of two at or
+	// above 2n-1).
+	m     int
+	chirp []complex128
+	bFFT  []complex128
+}
+
+type bluesteinKey struct {
+	n       int
+	inverse bool
+}
+
+var bluesteinCache sync.Map // bluesteinKey -> *bluesteinPlan
+
+func bluesteinPlanFor(n int, inverse bool) *bluesteinPlan {
+	key := bluesteinKey{n, inverse}
+	if v, ok := bluesteinCache.Load(key); ok {
+		return v.(*bluesteinPlan)
+	}
 	sign := -1.0
 	if inverse {
 		sign = 1.0
@@ -131,27 +185,51 @@ func bluestein(x []complex128, inverse bool) ([]complex128, error) {
 	for m < 2*n-1 {
 		m <<= 1
 	}
-	a := make([]complex128, m)
 	b := make([]complex128, m)
 	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
 		conj := cmplx.Conj(chirp[k])
 		b[k] = conj
 		if k != 0 {
 			b[m-k] = conj
 		}
 	}
-	fftRadix2(a, false)
 	fftRadix2(b, false)
+	p := &bluesteinPlan{m: m, chirp: chirp, bFFT: b}
+	v, _ := bluesteinCache.LoadOrStore(key, p)
+	return v.(*bluesteinPlan)
+}
+
+// execute evaluates the chirp-z convolution, writing the transform of x
+// (length n) into out. out may alias x. scratch must have length p.m;
+// it is fully overwritten, so callers can reuse it across calls.
+func (p *bluesteinPlan) execute(out, x, scratch []complex128) {
+	n := len(x)
+	a := scratch
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	for k := n; k < p.m; k++ {
+		a[k] = 0
+	}
+	fftRadix2(a, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= p.bFFT[i]
 	}
 	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
+	invM := complex(1/float64(p.m), 0)
 	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
+		out[k] = a[k] * invM * p.chirp[k]
 	}
+}
+
+// bluestein computes the DFT of x for arbitrary length via the chirp-z
+// transform, expressing the DFT as a convolution evaluated with a
+// power-of-two FFT.
+func bluestein(x []complex128, inverse bool) ([]complex128, error) {
+	n := len(x)
+	plan := bluesteinPlanFor(n, inverse)
+	out := make([]complex128, n)
+	plan.execute(out, x, make([]complex128, plan.m))
 	return out, nil
 }
 

@@ -1,0 +1,77 @@
+package dsp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RealFFT is a reusable transform plan for real-valued inputs of one
+// fixed length. The plan owns every buffer the transform needs, so a
+// Transform call allocates nothing: Welch runs one plan across all its
+// segments instead of paying a fresh complex buffer (plus, for non
+// power-of-two lengths, a fresh chirp and two convolution buffers) per
+// segment. The spectrum it computes is bit-identical to FFTReal's.
+//
+// A plan is not safe for concurrent use; give each goroutine its own
+// (the package keeps a pool for exactly that — see getRealFFT).
+type RealFFT struct {
+	n       int
+	cx      []complex128 // staging + output buffer
+	scratch []complex128 // chirp-z convolution buffer; nil for powers of two
+	plan    *bluesteinPlan
+}
+
+// NewRealFFT returns a plan for inputs of length n.
+func NewRealFFT(n int) *RealFFT {
+	p := &RealFFT{n: n}
+	if n <= 0 {
+		return p
+	}
+	p.cx = make([]complex128, n)
+	if n&(n-1) != 0 {
+		p.plan = bluesteinPlanFor(n, false)
+		p.scratch = make([]complex128, p.plan.m)
+	}
+	return p
+}
+
+// Transform computes the full complex spectrum of x, which must have the
+// plan's length. The returned slice is internal storage: it is valid
+// until the next Transform on the same plan and must not be modified.
+func (p *RealFFT) Transform(x []float64) ([]complex128, error) {
+	if p.n <= 0 {
+		return nil, ErrEmpty
+	}
+	if len(x) != p.n {
+		return nil, fmt.Errorf("dsp: plan is for length %d, got %d", p.n, len(x))
+	}
+	for i, v := range x {
+		p.cx[i] = complex(v, 0)
+	}
+	if p.plan == nil {
+		fftRadix2(p.cx, false)
+	} else {
+		p.plan.execute(p.cx, p.cx, p.scratch)
+	}
+	return p.cx, nil
+}
+
+// Len returns the input length the plan was built for.
+func (p *RealFFT) Len() int { return p.n }
+
+var realFFTPool sync.Pool
+
+// getRealFFT returns a plan for length n, reusing a pooled one when its
+// length matches. In the pipeline nearly every call uses the default
+// Welch segment length, so the hit rate is high; a mismatched pooled
+// plan is simply dropped.
+func getRealFFT(n int) *RealFFT {
+	if v := realFFTPool.Get(); v != nil {
+		if p := v.(*RealFFT); p.n == n {
+			return p
+		}
+	}
+	return NewRealFFT(n)
+}
+
+func putRealFFT(p *RealFFT) { realFFTPool.Put(p) }

@@ -1,0 +1,68 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRealFFTMatchesFFTReal pins the planner contract: the pooled,
+// cache-backed RealFFT must be bit-identical to the one-shot FFTReal for
+// both the radix-2 and the Bluestein path. Welch sits on top of this
+// identity, so any drift here silently shifts every periodogram.
+func TestRealFFTMatchesFFTReal(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 96, 100, 192, 337} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(0.7*float64(i)) + 0.25*math.Cos(2.9*float64(i))
+		}
+		want, err := FFTReal(x)
+		if err != nil {
+			t.Fatalf("n=%d: FFTReal: %v", n, err)
+		}
+		p := NewRealFFT(n)
+		if p.Len() != n {
+			t.Fatalf("n=%d: Len() = %d", n, p.Len())
+		}
+		// Transform twice: the second run reuses the plan's scratch and
+		// must not be polluted by the first.
+		for round := 0; round < 2; round++ {
+			got, err := p.Transform(x)
+			if err != nil {
+				t.Fatalf("n=%d round %d: Transform: %v", n, round, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: length %d vs %d", n, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float64bits(real(got[i])) != math.Float64bits(real(want[i])) ||
+					math.Float64bits(imag(got[i])) != math.Float64bits(imag(want[i])) {
+					t.Fatalf("n=%d round %d bin %d: %v vs %v", n, round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRealFFTRejectsWrongLength(t *testing.T) {
+	p := NewRealFFT(8)
+	if _, err := p.Transform(make([]float64, 7)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+// TestRealFFTPoolReuse covers the sync.Pool entry points: a recycled
+// plan of the right length is reused, a wrong-length one is dropped.
+func TestRealFFTPoolReuse(t *testing.T) {
+	p := getRealFFT(96)
+	putRealFFT(p)
+	q := getRealFFT(96)
+	if q.Len() != 96 {
+		t.Fatalf("pooled plan has Len %d", q.Len())
+	}
+	putRealFFT(q)
+	r := getRealFFT(64)
+	if r.Len() != 64 {
+		t.Fatalf("plan length not honoured: %d", r.Len())
+	}
+	putRealFFT(r)
+}

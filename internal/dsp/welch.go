@@ -87,7 +87,7 @@ func Welch(xs []float64, sampleRate float64, opts WelchOptions) (*Periodogram, e
 		step = 1
 	}
 
-	coeffs := opts.Window.Coefficients(segLen)
+	coeffs := opts.Window.cachedCoefficients(segLen)
 	sumW := 0.0
 	for _, w := range coeffs {
 		sumW += w
@@ -99,6 +99,8 @@ func Welch(xs []float64, sampleRate float64, opts WelchOptions) (*Periodogram, e
 	nBins := segLen/2 + 1
 	avgPower := make([]float64, nBins)
 	seg := make([]float64, segLen)
+	fft := getRealFFT(segLen)
+	defer putRealFFT(fft)
 	segments := 0
 	for start := 0; start+segLen <= n; start += step {
 		copy(seg, xs[start:start+segLen])
@@ -110,7 +112,7 @@ func Welch(xs []float64, sampleRate float64, opts WelchOptions) (*Periodogram, e
 		for i := range seg {
 			seg[i] *= coeffs[i]
 		}
-		spec, err := FFTReal(seg)
+		spec, err := fft.Transform(seg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Window is a taper applied to each Welch segment before transforming.
 type Window int
@@ -65,6 +68,27 @@ func (w Window) Coefficients(n int) []float64 {
 		}
 	}
 	return c
+}
+
+type windowKey struct {
+	w Window
+	n int
+}
+
+var coeffCache sync.Map // windowKey -> []float64
+
+// cachedCoefficients returns a shared, read-only coefficient slice for
+// (w, n). Welch applies the same taper to every segment of every signal
+// it sees, so the coefficients are computed once per (window, length)
+// and shared across goroutines. The public Coefficients keeps returning
+// a fresh slice because callers are allowed to mutate it.
+func (w Window) cachedCoefficients(n int) []float64 {
+	key := windowKey{w, n}
+	if v, ok := coeffCache.Load(key); ok {
+		return v.([]float64)
+	}
+	v, _ := coeffCache.LoadOrStore(key, w.Coefficients(n))
+	return v.([]float64)
 }
 
 // CoherentGain returns the mean of the window coefficients. A sinusoid at

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/dsp"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
@@ -276,6 +278,7 @@ func AblationThresholds(o Options) (*AblationResult, error) {
 	cfg := scenario.DefaultConfig(o.Seed)
 	cfg.ASes = 160
 	cfg.TraceroutesPerBin = o.TraceroutesPerBin
+	cfg.Workers = o.Workers
 	world, err := scenario.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -425,14 +428,20 @@ func AblationDiscard(o Options) (*AblationResult, error) {
 	}, nil
 }
 
-// RenderAblations runs every ablation and writes the results.
+// RenderAblations runs every ablation and writes the results. The six
+// ablations are independent (each derives its randomness from its own
+// salt), so they fan out on o.Workers workers and render in the fixed
+// order once all have finished.
 func RenderAblations(w io.Writer, o Options) error {
 	type ab func(Options) (*AblationResult, error)
-	for _, run := range []ab{AblationAggregation, AblationBinWidth, AblationWelch, AblationEstimator, AblationDiscard, AblationThresholds} {
-		r, err := run(o)
-		if err != nil {
-			return err
-		}
+	runs := []ab{AblationAggregation, AblationBinWidth, AblationWelch, AblationEstimator, AblationDiscard, AblationThresholds}
+	results, err := parallel.Map(context.Background(), o.withDefaults().Workers, len(runs), func(i int) (*AblationResult, error) {
+		return runs[i](o)
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
 		if err := r.Render(w); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/netip"
@@ -9,6 +10,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/dsp"
 	"github.com/last-mile-congestion/lastmile/internal/isp"
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
@@ -52,32 +54,34 @@ func fig1Network(name string, asn uint32, cc string, utc float64, sev isp.Severi
 	return isp.New(cfg)
 }
 
-// runFleetPeriods measures one network's fleet over the given periods.
+// runFleetPeriods measures one network's fleet over the given periods,
+// fanning the periods out on o.Workers workers. Each period builds its
+// own devices and probes from period-keyed seeds, so the profiles are
+// identical at any worker count.
 func runFleetPeriods(network *isp.Network, o Options, idBase int, periods []scenario.Period) ([]PeriodProfile, error) {
-	var out []PeriodProfile
-	for _, p := range periods {
+	return parallel.Map(context.Background(), o.Workers, len(periods), func(i int) (PeriodProfile, error) {
+		p := periods[i]
 		devices := network.BuildDevices(netsim.MixSeed(o.Seed, uint64(network.ASN), scenario.PeriodIndex(p)), p.COVIDShift)
 		n := scenario.FleetSizeFor(o.FleetSize, p)
 		probes, err := scenario.BuildFleet(network, devices, n, idBase, o.Seed)
 		if err != nil {
-			return nil, err
+			return PeriodProfile{}, err
 		}
-		res, err := scenario.SimulatePopulationDelay(probes, p, o.TraceroutesPerBin, o.Seed)
+		res, err := scenario.SimulatePopulationDelayWorkers(probes, p, o.TraceroutesPerBin, o.Seed, o.Workers)
 		if err != nil {
-			return nil, err
+			return PeriodProfile{}, err
 		}
 		weekly, err := timeseries.DayHourProfile(res.Signal)
 		if err != nil {
-			return nil, err
+			return PeriodProfile{}, err
 		}
-		out = append(out, PeriodProfile{
+		return PeriodProfile{
 			Period: p.Label,
 			Probes: res.Probes,
 			Signal: res.Signal,
 			Weekly: weekly,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig1 reproduces Figure 1: one week of aggregated last-mile queuing

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/netip"
 
 	"github.com/last-mile-congestion/lastmile/internal/isp"
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
@@ -45,8 +47,14 @@ func Fig8(o Options) (*Fig8Result, error) {
 		return nil, err
 	}
 
-	r := &Fig8Result{}
-	for _, p := range fig8Periods() {
+	// Per-period work fans out; rows come back in period order.
+	type fig8Row struct {
+		probeWeekly, anchorWeekly []float64
+		probes                    int
+	}
+	periods := fig8Periods()
+	rows, err := parallel.Map(context.Background(), o.Workers, len(periods), func(i int) (fig8Row, error) {
+		p := periods[i]
 		seed := netsim.MixSeed(o.Seed, uint64(broadband.ASN), scenario.PeriodIndex(p))
 		devices := broadband.BuildDevices(seed, p.COVIDShift)
 		// 6 probes in 2019, 7 in 2020-04, as in the figure legend.
@@ -56,41 +64,48 @@ func Fig8(o Options) (*Fig8Result, error) {
 		}
 		probes, err := scenario.BuildFleet(broadband, devices, n, 300000, o.Seed)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
-		res, err := scenario.SimulatePopulationDelay(probes, p, o.TraceroutesPerBin, o.Seed)
+		res, err := scenario.SimulatePopulationDelayWorkers(probes, p, o.TraceroutesPerBin, o.Seed, o.Workers)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
 		probeWeekly, err := timeseries.DayHourProfile(res.Signal)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
 
 		anchorDevs := dcNet.BuildDevices(seed, p.COVIDShift)
 		anchors, err := scenario.BuildFleet(dcNet, anchorDevs, 1, 310000, o.Seed)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
 		anchors[0].IsAnchor = true
 		anchors[0].Availability = 1
 		anchorAcc, err := scenario.SimulateProbeDelay(anchors[0], p, o.TraceroutesPerBin, o.Seed)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
 		anchorQD, err := anchorAcc.QueuingDelay(3)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
 		anchorWeekly, err := timeseries.DayHourProfile(anchorQD)
 		if err != nil {
-			return nil, err
+			return fig8Row{}, err
 		}
+		return fig8Row{probeWeekly: probeWeekly, anchorWeekly: anchorWeekly, probes: res.Probes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		r.Periods = append(r.Periods, p.Label)
-		r.ProbeWeekly = append(r.ProbeWeekly, probeWeekly)
-		r.AnchorWeekly = append(r.AnchorWeekly, anchorWeekly)
-		r.ProbeCounts = append(r.ProbeCounts, res.Probes)
+	r := &Fig8Result{}
+	for i, row := range rows {
+		r.Periods = append(r.Periods, periods[i].Label)
+		r.ProbeWeekly = append(r.ProbeWeekly, row.probeWeekly)
+		r.AnchorWeekly = append(r.AnchorWeekly, row.anchorWeekly)
+		r.ProbeCounts = append(r.ProbeCounts, row.probes)
 	}
 	return r, nil
 }

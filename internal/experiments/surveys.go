@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/last-mile-congestion/lastmile/internal/apnic"
 	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 )
@@ -21,35 +23,47 @@ type SurveySet struct {
 	COVID        *core.Survey
 }
 
-// RunSurveys builds the world and runs all seven surveys.
+// RunSurveys builds the world and runs all seven surveys. The periods
+// share one immutable world and every survey's draws are keyed by
+// (seed, ASN, period), so the periods fan out on o.Workers workers with
+// output identical to the serial run.
 func RunSurveys(o Options) (*SurveySet, error) {
 	o = o.withDefaults()
 	cfg := scenario.DefaultConfig(o.Seed)
 	cfg.ASes = o.WorldASes
 	cfg.TraceroutesPerBin = o.TraceroutesPerBin
+	cfg.Workers = o.Workers
 	world, err := scenario.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	set := &SurveySet{World: world}
-	for _, p := range scenario.LongitudinalPeriods() {
-		s, err := world.RunSurvey(p)
+	longitudinal := scenario.LongitudinalPeriods()
+	periods := make([]scenario.Period, 0, len(longitudinal)+1)
+	periods = append(periods, longitudinal...)
+	periods = append(periods, scenario.COVIDPeriod())
+	surveys, err := parallel.Map(context.Background(), o.Workers, len(periods), func(i int) (*core.Survey, error) {
+		s, err := world.RunSurvey(periods[i])
 		if err != nil {
-			return nil, fmt.Errorf("survey %s: %w", p.Label, err)
+			return nil, fmt.Errorf("survey %s: %w", periods[i].Label, err)
 		}
-		set.Longitudinal = append(set.Longitudinal, s)
-	}
-	covid, err := world.RunSurvey(scenario.COVIDPeriod())
+		return s, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	set.COVID = covid
-	return set, nil
+	n := len(longitudinal)
+	return &SurveySet{
+		World:        world,
+		Longitudinal: surveys[:n:n],
+		COVID:        surveys[n],
+	}, nil
 }
 
 // AllSurveys returns the longitudinal surveys plus the COVID one.
 func (s *SurveySet) AllSurveys() []*core.Survey {
-	return append(append([]*core.Survey{}, s.Longitudinal...), s.COVID)
+	out := make([]*core.Survey, 0, len(s.Longitudinal)+1)
+	out = append(out, s.Longitudinal...)
+	return append(out, s.COVID)
 }
 
 // septemberSurvey returns the September 2019 survey.
@@ -85,11 +99,17 @@ type Fig3Result struct {
 
 // Fig3From computes Figure 3 from the longitudinal surveys.
 func Fig3From(set *SurveySet) *Fig3Result {
-	r := &Fig3Result{}
+	nPeriods := len(set.Longitudinal)
+	r := &Fig3Result{
+		Periods:   make([]string, 0, nPeriods),
+		PeakFreqs: make([][]float64, 0, nPeriods),
+		DailyAmps: make([][]float64, 0, nPeriods),
+	}
 	var split [4]float64
 	dailyFrac := 0.0
 	for _, s := range set.Longitudinal {
-		var freqs, amps []float64
+		freqs := make([]float64, 0, s.Len())
+		amps := make([]float64, 0, s.Len())
 		var counts [4]int
 		for _, res := range s.Results {
 			if !math.IsNaN(res.Peak.Freq) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/last-mile-congestion/lastmile/internal/bgp"
 	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
@@ -53,19 +55,17 @@ func RunTokyo(o Options) (*TokyoSet, error) {
 	p := scenario.TokyoPeriod()
 	set := &TokyoSet{Tokyo: tk, Period: p}
 
-	// Delays (§4.1).
-	for _, d := range []struct {
-		isp **scenario.PopulationResult
-		src *scenario.TokyoISP
-	}{
-		{&set.DelayA, tk.ISPA}, {&set.DelayB, tk.ISPB}, {&set.DelayC, tk.ISPC},
-	} {
-		res, err := scenario.SimulatePopulationDelay(d.src.Probes, p, o.TraceroutesPerBin, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		*d.isp = res
+	// Delays (§4.1). The three fleets fan out as service arms, and each
+	// fleet fans out again over its probes; every draw is keyed by probe
+	// ID, so the results match the serial run at any worker count.
+	delayArms := []*scenario.TokyoISP{tk.ISPA, tk.ISPB, tk.ISPC}
+	delays, err := parallel.Map(context.Background(), o.Workers, len(delayArms), func(i int) (*scenario.PopulationResult, error) {
+		return scenario.SimulatePopulationDelayWorkers(delayArms[i].Probes, p, o.TraceroutesPerBin, o.Seed, o.Workers)
+	})
+	if err != nil {
+		return nil, err
 	}
+	set.DelayA, set.DelayB, set.DelayC = delays[0], delays[1], delays[2]
 
 	// Throughput estimators (§4.2). All estimators consume the same
 	// mixed log stream, exactly as the paper slices one CDN dataset.
@@ -122,26 +122,40 @@ func RunTokyo(o Options) (*TokyoSet, error) {
 		{&estC4, scenario.ASNTokyoC, 15 * time.Minute, 4, true, false},
 		{&estC6, scenario.ASNTokyoC, 15 * time.Minute, 6, true, false},
 	}
-	var ests []*cdn.Estimator
-	for _, s := range specs {
+	ests := make([]*cdn.Estimator, len(specs))
+	for j, s := range specs {
 		e, err := mkEst(s.asn, s.bin, s.af, s.excludeMobile, s.onlyMobile)
 		if err != nil {
 			return nil, err
 		}
 		*s.est = e
-		ests = append(ests, e)
+		ests[j] = e
 	}
 
-	emit := func(e cdn.LogEntry) error {
-		for _, est := range ests {
-			est.Add(&e)
-		}
-		return nil
-	}
+	// The six generator arms fan out, each feeding its own estimator
+	// shard; shards are merged in arm order afterwards. Arms draw their
+	// clients from disjoint prefixes, so the merged estimators are
+	// identical to every estimator consuming one shared stream (see
+	// Estimator.Merge).
 	arms := []*scenario.TokyoISP{tk.ISPA, tk.ISPB, tk.ISPC, tk.ISPAMobile, tk.ISPBMobile, tk.ISPCMobile}
-	for i, arm := range arms {
+	shards, err := parallel.Map(context.Background(), o.Workers, len(arms), func(i int) ([]*cdn.Estimator, error) {
+		arm := arms[i]
 		if arm.CDNClients == 0 {
-			continue
+			return nil, nil
+		}
+		shard := make([]*cdn.Estimator, len(specs))
+		for j, s := range specs {
+			e, err := mkEst(s.asn, s.bin, s.af, s.excludeMobile, s.onlyMobile)
+			if err != nil {
+				return nil, err
+			}
+			shard[j] = e
+		}
+		emit := func(e cdn.LogEntry) error {
+			for _, est := range shard {
+				est.Add(&e)
+			}
+			return nil
 		}
 		gen := &cdn.Generator{
 			Network:                 arm.Network,
@@ -153,6 +167,18 @@ func RunTokyo(o Options) (*TokyoSet, error) {
 		}
 		if err := gen.Generate(p.Start, p.End, emit); err != nil {
 			return nil, err
+		}
+		return shard, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		for j := range ests {
+			ests[j].Merge(shard[j])
 		}
 	}
 

@@ -107,16 +107,25 @@ func usableRTTs(r *traceroute.Result, i int, addr netip.Addr) []float64 {
 // PairwiseSamples, exposed for simulation fast paths that draw hop RTTs
 // without materialising a full traceroute result.
 func PairwiseFromRTTs(privRTTs, pubRTTs []float64) []float64 {
+	return PairwiseFromRTTsInto(nil, privRTTs, pubRTTs)
+}
+
+// PairwiseFromRTTsInto is PairwiseFromRTTs appending into dst, so hot
+// loops can reuse one scratch slice (pass dst[:0]) across traceroutes
+// instead of allocating the 9-sample product per call.
+func PairwiseFromRTTsInto(dst, privRTTs, pubRTTs []float64) []float64 {
 	if len(privRTTs) == 0 || len(pubRTTs) == 0 {
 		return nil
 	}
-	out := make([]float64, 0, len(privRTTs)*len(pubRTTs))
+	if dst == nil {
+		dst = make([]float64, 0, len(privRTTs)*len(pubRTTs))
+	}
 	for _, p := range pubRTTs {
 		for _, q := range privRTTs {
-			out = append(out, p-q)
+			dst = append(dst, p-q)
 		}
 	}
-	return out
+	return dst
 }
 
 // Estimate extracts the last-mile samples of r in one call. ok is false

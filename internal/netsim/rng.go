@@ -64,6 +64,30 @@ func DerivedRand(parts ...uint64) *rand.Rand {
 	return rand.New(&splitmixSource{state: MixSeed(parts...)})
 }
 
+// Stream is a reusable keyed PRNG for hot loops that would otherwise
+// create a fresh DerivedRand per (entity, time) tuple: Derive re-keys
+// the generator in place, and subsequent draws are bit-identical to a
+// fresh DerivedRand with the same parts. Rekeying works because
+// splitmixSource's one word of state is the seed, and rand.Rand's only
+// state outside its source backs Read, which the pipeline never calls.
+// A Stream is not safe for concurrent use; give each worker its own.
+type Stream struct {
+	*rand.Rand
+	src splitmixSource
+}
+
+// NewStream returns an unkeyed Stream; call Derive before drawing.
+func NewStream() *Stream {
+	s := &Stream{}
+	s.Rand = rand.New(&s.src)
+	return s
+}
+
+// Derive re-keys the stream to the mixed parts.
+func (s *Stream) Derive(parts ...uint64) {
+	s.src.state = MixSeed(parts...)
+}
+
 // TruncNormal draws from a normal distribution with the given mean and
 // standard deviation, truncated below at lo. RTT noise must never push a
 // delay negative.

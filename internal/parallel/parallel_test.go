@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 31:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		// The lowest failing index is always dispatched before any
+		// higher one, so its error must be the one reported.
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 2, 10000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if n := calls.Load(); n == 10000 {
+		t.Fatalf("all %d indices ran despite early error", n)
+	}
+}
+
+func TestMapContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := Map(ctx, 4, 10000, func(i int) (int, error) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n == 10000 {
+		t.Fatalf("all %d indices ran despite cancellation", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 64)
+	err := ForEach(context.Background(), 8, len(out), func(i int) error {
+		out[i] = i + 1
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestMapRaceStress hammers the pool so `go test -race` exercises the
+// dispatcher/worker/result handoff; scripts/check.sh runs this package
+// under the race detector for exactly that reason.
+func TestMapRaceStress(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		n := 257
+		got, err := Map(context.Background(), 8, n, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if want := fmt.Sprintf("v%d", i); v != want {
+				t.Fatalf("round %d: got[%d] = %q, want %q", round, i, v, want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/isp"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 )
 
@@ -117,13 +119,19 @@ type PopulationResult struct {
 // fleet and aggregates it (§2.1), returning the aggregated queuing delay
 // and the number of contributing probes.
 func SimulatePopulationDelay(probes []*atlas.Probe, p Period, perBin int, seed uint64) (*PopulationResult, error) {
-	accs := make([]*lastmile.ProbeAccumulator, 0, len(probes))
-	for _, probe := range probes {
-		acc, err := SimulateProbeDelay(probe, p, perBin, seed)
-		if err != nil {
-			return nil, err
-		}
-		accs = append(accs, acc)
+	return SimulatePopulationDelayWorkers(probes, p, perBin, seed, 1)
+}
+
+// SimulatePopulationDelayWorkers is SimulatePopulationDelay on a bounded
+// worker pool. Each probe's draws are keyed by its ID and accumulators
+// come back in probe order, so the result is identical at any worker
+// count.
+func SimulatePopulationDelayWorkers(probes []*atlas.Probe, p Period, perBin int, seed uint64, workers int) (*PopulationResult, error) {
+	accs, err := parallel.Map(context.Background(), workers, len(probes), func(i int) (*lastmile.ProbeAccumulator, error) {
+		return SimulateProbeDelay(probes[i], p, perBin, seed)
+	})
+	if err != nil {
+		return nil, err
 	}
 	signal, n, err := lastmile.PopulationDelay(accs, lastmile.DefaultMinTraceroutes)
 	if err != nil {

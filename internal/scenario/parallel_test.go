@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunSurveyParallelMatchesSerial is the package-level determinism
+// contract: the same world surveyed on one worker and on many workers
+// must produce bit-identical per-AS results. Run under -race it also
+// stresses the multi-worker survey path end to end.
+func TestRunSurveyParallelMatchesSerial(t *testing.T) {
+	build := func(workers int) *World {
+		cfg := DefaultConfig(42)
+		cfg.ASes = 100
+		cfg.Workers = workers
+		w, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	serial, parallel := build(1), build(8)
+	p := LongitudinalPeriods()[5]
+	a, err := serial.RunSurvey(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.RunSurvey(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("AS count differs: serial %d, parallel %d", a.Len(), b.Len())
+	}
+	for asn, ra := range a.Results {
+		rb := b.Results[asn]
+		if rb == nil {
+			t.Fatalf("AS%v present serially, missing in parallel run", asn)
+		}
+		if ra.Probes != rb.Probes || ra.Class != rb.Class {
+			t.Fatalf("AS%v verdict differs: serial {probes %d, %v}, parallel {probes %d, %v}",
+				asn, ra.Probes, ra.Class, rb.Probes, rb.Class)
+		}
+		// Signals carry NaN gap bins; compare bit patterns, not values.
+		if len(ra.Signal.Values) != len(rb.Signal.Values) {
+			t.Fatalf("AS%v signal length differs", asn)
+		}
+		for i := range ra.Signal.Values {
+			if math.Float64bits(ra.Signal.Values[i]) != math.Float64bits(rb.Signal.Values[i]) {
+				t.Fatalf("AS%v signal bin %d differs: %v vs %v",
+					asn, i, ra.Signal.Values[i], rb.Signal.Values[i])
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"github.com/last-mile-congestion/lastmile/internal/atlas"
@@ -11,6 +13,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/isp"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/netsim"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 )
 
@@ -128,6 +131,20 @@ func periodOrdinal(p Period) int {
 	}
 }
 
+// probeScratch is the per-worker reusable state of the probe fast path:
+// one re-keyable PRNG stream and one pairwise-sample buffer, pooled so
+// the per-(bin, traceroute) inner loop allocates nothing.
+type probeScratch struct {
+	stream  *netsim.Stream
+	samples []float64
+}
+
+var probeScratchPool = sync.Pool{
+	New: func() any {
+		return &probeScratch{stream: netsim.NewStream(), samples: make([]float64, 0, 9)}
+	},
+}
+
 // SimulateProbeDelay runs the fast-path delay measurement for one probe
 // over a period: per 30-minute bin, TraceroutesPerBin truncated
 // traceroutes over the probe's last-mile route, each contributing 9
@@ -138,18 +155,21 @@ func SimulateProbeDelay(probe *atlas.Probe, p Period, perBin int, seed uint64) (
 		return nil, err
 	}
 	route := probe.LastMileRoute()
+	scratch := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(scratch)
+	rng := scratch.stream
 	var priv, pub [3]float64
 	for binStart := p.Start; binStart.Before(p.End); binStart = binStart.Add(lastmile.DefaultBinWidth) {
-		if !probe.OnlineAt(binStart, seed) {
+		if !probe.OnlineAtStream(binStart, seed, rng) {
 			continue
 		}
 		binUnix := uint64(binStart.Unix())
 		for k := 0; k < perBin; k++ {
-			rng := netsim.DerivedRand(seed, uint64(probe.ID), binUnix, uint64(k))
+			rng.Derive(seed, uint64(probe.ID), binUnix, uint64(k))
 			at := binStart.Add(time.Duration(rng.Int63n(int64(lastmile.DefaultBinWidth))))
 			okAll := true
 			for i := 0; i < 3; i++ {
-				v, ok, err := route.RTT(0, at, rng)
+				v, ok, err := route.RTT(0, at, rng.Rand)
 				if err != nil {
 					return nil, err
 				}
@@ -163,7 +183,7 @@ func SimulateProbeDelay(probe *atlas.Probe, p Period, perBin int, seed uint64) (
 				continue
 			}
 			for i := 0; i < 3; i++ {
-				v, ok, err := route.RTT(1, at, rng)
+				v, ok, err := route.RTT(1, at, rng.Rand)
 				if err != nil {
 					return nil, err
 				}
@@ -176,7 +196,9 @@ func SimulateProbeDelay(probe *atlas.Probe, p Period, perBin int, seed uint64) (
 			if !okAll {
 				continue
 			}
-			acc.AddSamples(at, lastmile.PairwiseFromRTTs(priv[:], pub[:]))
+			// The accumulator copies the group, so the scratch buffer is
+			// free for the next traceroute.
+			acc.AddSamples(at, lastmile.PairwiseFromRTTsInto(scratch.samples[:0], priv[:], pub[:]))
 		}
 	}
 	return acc, nil
@@ -185,7 +207,9 @@ func SimulateProbeDelay(probe *atlas.Probe, p Period, perBin int, seed uint64) (
 // PerProbeDelays measures one AS for a period and returns each probe's
 // queuing-delay series — the input for aggregation and for the §5
 // probe-variability bootstrap. Probes without a usable baseline are
-// skipped.
+// skipped. Probes are measured on w.Workers workers; each probe's draws
+// are keyed by its ID, and results come back in probe order, so the
+// series list is identical at any worker count.
 func (w *World) PerProbeDelays(a *ASInfo, p Period) ([]*timeseries.Series, error) {
 	probes, err := w.ProbesFor(a, p)
 	if err != nil {
@@ -194,17 +218,25 @@ func (w *World) PerProbeDelays(a *ASInfo, p Period) ([]*timeseries.Series, error
 	if len(probes) < 3 {
 		return nil, fmt.Errorf("scenario: %s has %d active probes (<3)", a.Network.Name, len(probes))
 	}
-	var out []*timeseries.Series
-	for _, probe := range probes {
-		acc, err := SimulateProbeDelay(probe, p, w.TraceroutesPerBin, w.Seed)
+	series, err := parallel.Map(context.Background(), w.Workers, len(probes), func(i int) (*timeseries.Series, error) {
+		acc, err := SimulateProbeDelay(probes[i], p, w.TraceroutesPerBin, w.Seed)
 		if err != nil {
 			return nil, err
 		}
 		qd, err := acc.QueuingDelay(lastmile.DefaultMinTraceroutes)
 		if err != nil {
-			continue
+			return nil, nil // probe below the sanity bar; skipped
 		}
-		out = append(out, qd)
+		return qd, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*timeseries.Series, 0, len(series))
+	for _, qd := range series {
+		if qd != nil {
+			out = append(out, qd)
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("scenario: %s produced no usable probe series", a.Network.Name)
@@ -228,25 +260,37 @@ func (w *World) ASSignal(a *ASInfo, p Period) (*timeseries.Series, int, error) {
 
 // RunSurvey measures and classifies every AS for one period (§3). ASes
 // with fewer than 3 active probes, or whose signal cannot be classified,
-// are skipped — mirroring the paper's monitoring bar.
+// are skipped — mirroring the paper's monitoring bar. ASes are measured
+// on w.Workers workers; every stochastic draw is keyed by (seed, ASN,
+// period) and results are added in AS order, so the survey is identical
+// at any worker count.
 func (w *World) RunSurvey(p Period) (*core.Survey, error) {
 	survey := core.NewSurvey(p.Label)
 	opts := core.DefaultClassifierOptions()
-	for _, a := range w.ASes {
+	results, err := parallel.Map(context.Background(), w.Workers, len(w.ASes), func(i int) (*core.ASResult, error) {
+		a := w.ASes[i]
 		signal, n, err := w.ASSignal(a, p)
 		if err != nil {
-			continue // below the monitoring bar this period
+			return nil, nil // below the monitoring bar this period
 		}
 		cls, err := core.Classify(signal, opts)
 		if err != nil {
-			continue
+			return nil, nil
 		}
-		survey.Add(&core.ASResult{
+		return &core.ASResult{
 			ASN:            a.Network.ASN,
 			Probes:         n,
 			Signal:         signal,
 			Classification: cls,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r != nil {
+			survey.Add(r)
+		}
 	}
 	if survey.Len() == 0 {
 		return nil, fmt.Errorf("scenario: survey %s classified no AS", p.Label)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench.sh — benchmark runner with benchstat-comparable output.
+#
+# Usage:
+#
+#   scripts/bench.sh                      # every bench, 5 samples each
+#   scripts/bench.sh BenchmarkSurveys     # one bench family
+#   COUNT=10 scripts/bench.sh BenchmarkFig2 > new.txt
+#
+# Each benchmark is sampled COUNT times (default 5) so the output feeds
+# straight into benchstat:
+#
+#   git stash && scripts/bench.sh > old.txt && git stash pop
+#   scripts/bench.sh > new.txt
+#   benchstat old.txt new.txt
+#
+# The worker-count sub-benchmarks (BenchmarkSurveys/workers=N,
+# BenchmarkTokyo/workers=N) compare the serial baseline against the
+# pooled run; on a multi-core machine the pooled rows should scale with
+# physical parallelism, while allocs/op stays flat across widths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+count="${COUNT:-5}"
+
+exec go test -run '^$' -bench "$pattern" -benchmem -count "$count" .

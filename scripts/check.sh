@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # check.sh — the pre-PR gate. Chains the build, go vet, the repo's own
-# lmvet static-analysis suite, and the full test run under the race
-# detector. Any stage failing fails the gate.
+# lmvet static-analysis suite, the full test run under the race
+# detector, a focused race-stress pass over the parallel execution
+# paths, and a one-iteration benchmark smoke run. Any stage failing
+# fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +18,17 @@ go run ./cmd/lmvet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# The worker pool and the multi-worker survey/Tokyo paths get a second,
+# dedicated -race pass with caching disabled: scheduling differs run to
+# run, so fresh executions are what surface ordering bugs.
+echo "==> go test -race -count=1 (parallel paths)"
+go test -race -count=1 ./internal/parallel/
+go test -race -count=1 -run 'TestRunSurveyParallelMatchesSerial' ./internal/scenario/
+go test -race -count=1 -run 'WorkerEquivalence' ./internal/experiments/
+
+# Benchmark smoke: every bench must still run one iteration cleanly.
+echo "==> go test -bench (smoke, 1 iteration)"
+go test -run '^$' -bench . -benchtime 1x .
 
 echo "==> all checks passed"
