@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -129,5 +131,232 @@ func TestOtherCheckersStillRunWhenOneDisabled(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "floatcmp") {
 		t.Errorf("floatcmp finding missing: %q", stdout)
+	}
+}
+
+func TestIgnoreDirectiveSuppressesFinding(t *testing.T) {
+	code, stdout, stderr := exec(t, "testdata/ignored")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with inline suppression; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("suppressed run printed findings: %q", stdout)
+	}
+}
+
+func TestMalformedIgnoreDirectiveReported(t *testing.T) {
+	code, stdout, _ := exec(t, "testdata/badignore")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "malformed lmvet:ignore directive") {
+		t.Errorf("missing malformed-directive diagnostic: %q", stdout)
+	}
+	// A directive without a reason suppresses nothing: the underlying
+	// floatcmp finding must still be printed.
+	if !strings.Contains(stdout, "floatcmp") {
+		t.Errorf("floatcmp finding was wrongly suppressed: %q", stdout)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lmvet.baseline")
+
+	code, stdout, stderr := exec(t, "-baseline", path, "-write-baseline", "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote 1 baseline entry") {
+		t.Errorf("stderr missing write report: %q", stderr)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(body), "floatcmp\t") {
+		t.Errorf("baseline body missing entry: %q", body)
+	}
+
+	// The same dirty package now passes against its own baseline.
+	code, stdout, stderr = exec(t, "-baseline", path, "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("baselined exit = %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined findings still printed: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 baselined finding(s) suppressed") {
+		t.Errorf("stderr missing baseline summary: %q", stderr)
+	}
+}
+
+func TestBaselineDoesNotSuppressNewFindings(t *testing.T) {
+	// A baseline recorded from one package must not absorb findings
+	// from a different file.
+	path := filepath.Join(t.TempDir(), "lmvet.baseline")
+	if code, _, stderr := exec(t, "-baseline", path, "-write-baseline", "testdata/dirty"); code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr=%q", code, stderr)
+	}
+	code, stdout, _ := exec(t, "-baseline", path, "testdata/multi/a")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for unbaselined finding", code)
+	}
+	if !strings.Contains(stdout, "a.go") {
+		t.Errorf("new finding missing: %q", stdout)
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	code, _, stderr := exec(t, "-write-baseline", "testdata/dirty")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+}
+
+// sarifLog mirrors the slice of SARIF 2.1.0 the tests assert on.
+type sarifLog struct {
+	Version string `json:"version"`
+	Schema  string `json:"$schema"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			Level     string `json:"level"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI       string `json:"uri"`
+						URIBaseID string `json:"uriBaseId"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "lmvet.sarif")
+	code, _, stderr := exec(t, "-sarif", path, "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (SARIF output does not change exit codes); stderr=%q", code, stderr)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("SARIF report not written (parent dirs should be created): %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(body, &log); err != nil {
+		t.Fatalf("SARIF output unparsable: %v\n%s", err, body)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version = %q schema = %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "lmvet" {
+		t.Errorf("driver name = %q, want lmvet", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) == 0 {
+		t.Error("driver rules empty; every analyzer should be listed")
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "floatcmp" || res.Level != "error" {
+		t.Errorf("ruleId = %q level = %q, want floatcmp/error", res.RuleID, res.Level)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("locations = %d, want 1", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if !strings.HasSuffix(loc.ArtifactLocation.URI, "dirty.go") {
+		t.Errorf("uri = %q, want suffix dirty.go", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %q, want %%SRCROOT%%", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine == 0 {
+		t.Error("region startLine not populated")
+	}
+}
+
+func TestSARIFStdout(t *testing.T) {
+	code, stdout, _ := exec(t, "-sarif", "-", "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif=- stdout is not pure SARIF: %v\n%s", err, stdout)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Errorf("unexpected SARIF contents: %s", stdout)
+	}
+}
+
+func TestSARIFStdoutConflictsWithJSON(t *testing.T) {
+	code, _, stderr := exec(t, "-json", "-sarif", "-", "testdata/dirty")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+}
+
+func TestSeverityOverrideDowngradesExit(t *testing.T) {
+	code, stdout, stderr := exec(t, "-severity", "floatcmp=warn", "testdata/dirty")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for warn-only findings; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "floatcmp") {
+		t.Errorf("downgraded finding no longer printed: %q", stdout)
+	}
+	if !strings.Contains(stderr, "0 error(s), 1 warning(s)") {
+		t.Errorf("stderr summary missing warning count: %q", stderr)
+	}
+}
+
+func TestSeverityFlagValidation(t *testing.T) {
+	if code, _, _ := exec(t, "-severity", "floatcmp=fatal", "testdata/clean"); code != 2 {
+		t.Errorf("bad level: exit = %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "-severity", "nosuch=warn", "testdata/clean"); code != 2 {
+		t.Errorf("unknown analyzer: exit = %d, want 2", code)
+	}
+}
+
+func TestWorkersOutputIdentical(t *testing.T) {
+	dirs := []string{"testdata/multi/a", "testdata/multi/b", "testdata/multi/c"}
+	serial, serialErr := "", ""
+	for i, workers := range []string{"1", "4"} {
+		args := append([]string{"-workers=" + workers}, dirs...)
+		code, stdout, stderr := exec(t, args...)
+		if code != 1 {
+			t.Fatalf("workers=%s exit = %d, want 1; stderr=%q", workers, code, stderr)
+		}
+		if i == 0 {
+			serial, serialErr = stdout, stderr
+			if strings.Count(serial, "floatcmp") != 3 {
+				t.Fatalf("expected 3 findings across packages, got: %q", serial)
+			}
+			continue
+		}
+		if stdout != serial {
+			t.Errorf("stdout differs between -workers=1 and -workers=%s:\n%q\nvs\n%q", workers, serial, stdout)
+		}
+		if stderr != serialErr {
+			t.Errorf("stderr differs between -workers=1 and -workers=%s:\n%q\nvs\n%q", workers, serialErr, stderr)
+		}
 	}
 }

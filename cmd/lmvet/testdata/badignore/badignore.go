@@ -1,0 +1,9 @@
+// Package badignore is an lmvet CLI test fixture with a malformed
+// suppression: the directive names no reason, so it suppresses nothing
+// and is itself reported as an error-severity "lmvet" diagnostic.
+package badignore
+
+// Equal compares floats with ==.
+func Equal(a, b float64) bool {
+	return a == b //lmvet:ignore floatcmp
+}

@@ -1,0 +1,10 @@
+// Package ignored is an lmvet CLI test fixture whose single floatcmp
+// violation carries a well-formed inline suppression, so the run must
+// exit 0.
+package ignored
+
+// Equal compares floats bitwise on purpose; the trailing directive
+// records why the finding is accepted.
+func Equal(a, b float64) bool {
+	return a == b //lmvet:ignore floatcmp fixture: bitwise identity is the comparison under test
+}

@@ -1,0 +1,8 @@
+// Package a is one of three sibling fixtures used to check that
+// parallel and serial lmvet runs emit byte-identical output.
+package a
+
+// Same compares floats with ==, which floatcmp flags.
+func Same(x, y float64) bool {
+	return x == y
+}

@@ -46,6 +46,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole-program view through a module-wide
+// analyzer (one with RunModule set): every loaded package plus the static
+// call graph over them.
+type ModulePass struct {
+	// Prog is the call graph over every package the loader pulled in.
+	Prog *Program
+	// Cfg is the suite configuration (sink package selection, scoping).
+	Cfg Config
+
+	analyzer      *Analyzer
+	diags         *[]Diagnostic
+	requestedPkgs map[string]bool
+	ignores       *ignoreIndex
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// requested reports whether pkg was one of the directories the suite was
+// asked to analyze (rather than a dependency pulled in for the graph).
+// Module analyzers report findings only into requested packages.
+func (p *ModulePass) requested(pkg *Package) bool {
+	return p.requestedPkgs[pkg.Path]
+}
+
 // TypeOf returns the type of expression e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if tv, ok := p.Info.Types[e]; ok {
@@ -59,20 +90,39 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// Analyzer is one named check over a package.
+// Severity ranks a finding for exit-code purposes: errors fail the run,
+// warnings are reported but do not.
+type Severity string
+
+const (
+	// SeverityError findings fail the lmvet run (exit code 1).
+	SeverityError Severity = "error"
+	// SeverityWarn findings are printed but do not affect the exit code.
+	SeverityWarn Severity = "warn"
+)
+
+// Analyzer is one named check over a package or over the whole module.
 type Analyzer struct {
 	// Name is the flag-friendly identifier (e.g. "floatcmp").
 	Name string
 	// Doc is a one-line description shown by lmvet -help.
 	Doc string
-	// Run inspects the package and reports findings via pass.Reportf.
+	// Severity is the default severity of this analyzer's findings; the
+	// zero value means SeverityError. Config.Severity overrides per run.
+	Severity Severity
+	// Run inspects one package and reports findings via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass) error
+	// RunModule inspects the whole loaded module at once — analyzers that
+	// need the cross-package call graph (dettaint) set this instead of Run.
+	RunModule func(pass *ModulePass) error
 }
 
 // Diagnostic is one finding, resolved to a file position.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"-"`
+	Severity string         `json:"severity"`
 	Message  string         `json:"message"`
 }
 
@@ -87,6 +137,7 @@ func All() []*Analyzer {
 		FloatCmpAnalyzer,
 		NaNGuardAnalyzer,
 		DetGuardAnalyzer,
+		DetTaintAnalyzer,
 		LockSafeAnalyzer,
 		ErrCloseAnalyzer,
 		PoolSafeAnalyzer,
@@ -105,9 +156,13 @@ func Lookup(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzer applies one analyzer to one loaded package and returns its
-// diagnostics sorted by position.
+// RunAnalyzer applies one per-package analyzer to one loaded package and
+// returns its diagnostics sorted by position. Module-wide analyzers (Run
+// nil) yield nothing here; they run through RunSuite.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.Run == nil {
+		return nil, nil
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Fset:     pkg.Fset,

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a checked-in set of accepted findings. Entries match on
+// analyzer, module-relative file, and message — deliberately not on line
+// numbers, so unrelated edits above an accepted finding do not churn the
+// file. An empty baseline accepts nothing; the repo's lmvet.baseline is
+// expected to stay empty, existing so the comparison machinery is always
+// exercised and a future accepted finding has a place to live.
+type Baseline struct {
+	entries map[baselineKey]bool
+}
+
+type baselineKey struct {
+	analyzer string
+	file     string
+	message  string
+}
+
+// baselineSep separates the three fields of one entry line.
+const baselineSep = "\t"
+
+// ParseBaseline reads a baseline file: one tab-separated
+// "analyzer<TAB>file<TAB>message" entry per line, with blank lines and
+// #-comments skipped.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{entries: make(map[baselineKey]bool)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, baselineSep, 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want analyzer<TAB>file<TAB>message, got %q", lineNo, line)
+		}
+		b.entries[baselineKey{parts[0], filepath.ToSlash(parts[1]), parts[2]}] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len returns the number of accepted entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Matches reports whether d is accepted by the baseline. moduleDir
+// anchors the relative path the baseline stores.
+func (b *Baseline) Matches(d Diagnostic, moduleDir string) bool {
+	return b.entries[baselineKey{d.Analyzer, relPath(moduleDir, d.Pos.Filename), d.Message}]
+}
+
+// Filter splits diagnostics into kept (new) and baselined (accepted).
+func (b *Baseline) Filter(ds []Diagnostic, moduleDir string) (kept, baselined []Diagnostic) {
+	for _, d := range ds {
+		if b.Matches(d, moduleDir) {
+			baselined = append(baselined, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, baselined
+}
+
+// FormatBaseline renders diagnostics as a baseline file body, entries
+// deduplicated and sorted for stable diffs.
+func FormatBaseline(ds []Diagnostic, moduleDir string) string {
+	var sb strings.Builder
+	sb.WriteString("# lmvet baseline — accepted findings.\n")
+	sb.WriteString("# One entry per line: analyzer<TAB>file<TAB>message (line numbers\n")
+	sb.WriteString("# intentionally omitted). Regenerate with: lmvet -baseline <path> -write-baseline ./...\n")
+	seen := make(map[string]bool)
+	var lines []string
+	for _, d := range ds {
+		line := d.Analyzer + baselineSep + relPath(moduleDir, d.Pos.Filename) + baselineSep + d.Message
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// relPath renders file relative to moduleDir with forward slashes,
+// falling back to the absolute path outside the module.
+func relPath(moduleDir, file string) string {
+	if moduleDir != "" {
+		if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

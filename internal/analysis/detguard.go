@@ -6,18 +6,22 @@ import (
 )
 
 // DetGuardAnalyzer flags nondeterminism in packages that must be
-// bit-for-bit reproducible: wall-clock reads, the globally seeded
-// math/rand generator, and map iteration whose order leaks into output.
+// bit-for-bit reproducible: wall-clock reads (time.Now, time.Since,
+// time.Until), the globally seeded math/rand generator, ambient
+// environment reads (os.Getenv and friends), and map iteration whose
+// order leaks into output.
 //
 // Rationale: the simulation and scenario packages regenerate every
 // figure in EXPERIMENTS.md from fixed seeds; a single time.Now, global
-// rand call, or order-dependent map walk makes those artifacts
-// unreproducible and poisons golden-file comparisons. lmvet scopes this
-// analyzer to the deterministic packages (internal/netsim,
-// internal/scenario, internal/dsp) via its configuration.
+// rand call, environment read, or order-dependent map walk makes those
+// artifacts unreproducible and poisons golden-file comparisons. lmvet
+// scopes this analyzer to the deterministic packages (internal/netsim,
+// internal/scenario, internal/dsp) via its configuration; the dettaint
+// analyzer extends the same contract interprocedurally to everything
+// those packages call.
 var DetGuardAnalyzer = &Analyzer{
 	Name: "detguard",
-	Doc:  "flags time.Now, global math/rand, and order-dependent map iteration in deterministic packages",
+	Doc:  "flags wall-clock reads, global math/rand, os.Getenv, and order-dependent map iteration in deterministic packages",
 	Run:  runDetGuard,
 }
 
@@ -53,10 +57,12 @@ func checkNondetCall(pass *Pass, call *ast.CallExpr) {
 		return
 	}
 	switch {
-	case pkgPath == "time" && name == "Now":
-		pass.Reportf(call.Pos(), "time.Now in a deterministic package; thread a clock or timestamp in explicitly")
+	case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		pass.Reportf(call.Pos(), "time.%s in a deterministic package; thread a clock or timestamp in explicitly", name)
 	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
 		pass.Reportf(call.Pos(), "global %s.%s uses the shared seed; use an explicitly seeded *rand.Rand", pkgPath, name)
+	case pkgPath == "os" && (name == "Getenv" || name == "LookupEnv" || name == "Environ"):
+		pass.Reportf(call.Pos(), "os.%s in a deterministic package; plumb configuration through parameters", name)
 	}
 }
 
@@ -98,18 +104,28 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt, funcSorts bool) {
 	if funcSorts {
 		return
 	}
-	t := pass.TypeOf(rng.X)
+	if mapRangeAppends(pass.Info, rng) {
+		pass.Reportf(rng.Pos(), "appending during map iteration without sorting; element order differs between runs")
+	}
+}
+
+// mapRangeAppends reports whether rng iterates a map while appending to a
+// slice — the accumulation pattern whose element order differs run to run.
+// Shared by detguard (intraprocedural, with the enclosing function's sort
+// check applied by the caller) and dettaint (as a maporder taint source).
+func mapRangeAppends(info *types.Info, rng *ast.RangeStmt) bool {
+	t := typeOf(info, rng.X)
 	if t == nil {
-		return
+		return false
 	}
 	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
+		return false
 	}
 	appends := false
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
-				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
 					appends = true
 					return false
 				}
@@ -117,7 +133,5 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt, funcSorts bool) {
 		}
 		return true
 	})
-	if appends {
-		pass.Reportf(rng.Pos(), "appending during map iteration without sorting; element order differs between runs")
-	}
+	return appends
 }

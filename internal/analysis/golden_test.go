@@ -30,19 +30,28 @@ func testGolden(t *testing.T, a *Analyzer, name string) {
 	if err != nil {
 		t.Fatalf("RunAnalyzer: %v", err)
 	}
+	checkWants(t, []*Package{pkg}, diags)
+}
 
+// checkWants compares diagnostics against the // want comments across all
+// fixture packages: every want must be matched by a diagnostic on its
+// line, and every diagnostic must be covered by a want.
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
 	type lineKey struct {
 		file string
 		line int
 	}
 	wants := make(map[lineKey][]string)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
-					pos := pkg.Fset.Position(c.Pos())
-					k := lineKey{filepath.Base(pos.Filename), pos.Line}
-					wants[k] = append(wants[k], m[1])
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						pos := pkg.Fset.Position(c.Pos())
+						k := lineKey{filepath.Base(pos.Filename), pos.Line}
+						wants[k] = append(wants[k], m[1])
+					}
 				}
 			}
 		}

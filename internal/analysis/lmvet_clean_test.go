@@ -6,8 +6,11 @@ import "testing"
 // configuration, over every package in the module. It is the regression
 // gate that keeps the codebase free of the defect classes the analyzers
 // target: a new float ==, an unguarded sort, a time.Now in the
-// simulator, an unlocked monitor write, or a dropped Close error fails
-// `go test ./...` with the exact finding.
+// simulator, an unlocked monitor write, a dropped Close error, or an
+// exported simulation entry point that reaches a nondeterminism source
+// through any call chain (dettaint, which runs module-wide here and
+// prints the witness chain) fails `go test ./...` with the exact
+// finding.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")

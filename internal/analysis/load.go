@@ -102,6 +102,20 @@ func modulePath(gomod string) (string, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Loaded returns every module-local package the loader has type-checked
+// so far — the requested directories plus all module-internal
+// dependencies they pulled in — sorted by import path. Module-wide
+// analyses build their call graph over this set so taint can flow
+// through packages that were loaded only as dependencies.
+func (l *Loader) Loaded() []*Package {
+	pkgs := make([]*Package, 0, len(l.cache))
+	for _, p := range l.cache {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
 // ResolvePatterns expands package patterns relative to base into package
 // directories. Supported forms: "./..." (and "dir/..."), plain relative
 // or absolute directories. Directories named testdata, hidden

@@ -27,7 +27,10 @@ import (
 var PoolSafeAnalyzer = &Analyzer{
 	Name: "poolsafe",
 	Doc:  "flags goroutine closures capturing loop variables or writing shared elements at outside-computed indices",
-	Run:  runPoolSafe,
+	// The shared-index heuristic is pattern-based and cannot see every
+	// synchronisation scheme, so its findings warn rather than fail.
+	Severity: SeverityWarn,
+	Run:      runPoolSafe,
 }
 
 func runPoolSafe(pass *Pass) error {

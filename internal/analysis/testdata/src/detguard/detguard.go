@@ -3,12 +3,30 @@ package detguard
 
 import (
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 )
 
 func badWallClock() int64 {
 	return time.Now().Unix() // want "time.Now in a deterministic package"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in a deterministic package"
+}
+
+func badDeadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in a deterministic package"
+}
+
+func badEnvRead() string {
+	return os.Getenv("LM_SEED") // want "os.Getenv in a deterministic package"
+}
+
+func badEnvLookup() bool {
+	_, ok := os.LookupEnv("LM_SEED") // want "os.LookupEnv in a deterministic package"
+	return ok
 }
 
 func badGlobalRand() float64 {

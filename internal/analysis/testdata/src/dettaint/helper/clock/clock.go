@@ -1,0 +1,21 @@
+// Package clock is the dettaint fixture's deepest layer: wall-clock
+// sources two calls removed from the sink package.
+package clock
+
+import "time"
+
+// Unix is a clock taint source.
+func Unix() int64 {
+	return time.Now().Unix()
+}
+
+// Span is a clock taint source via time.Since.
+func Span(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Bench reads the wall clock, but the source line carries an inline
+// suppression, so no taint seeds here and callers stay clean.
+func Bench() int64 {
+	return time.Now().UnixNano() //lmvet:ignore dettaint fixture: telemetry timing is display-only
+}

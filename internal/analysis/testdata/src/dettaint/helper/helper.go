@@ -1,0 +1,85 @@
+// Package helper is the dettaint fixture's middle layer: nothing here is
+// a sink, but taint must flow through these functions to the exported
+// entry points of the fixture's internal/experiments package.
+package helper
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/dettaint/helper/clock"
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/dettaint/internal/netsim"
+)
+
+// Stamp propagates clock taint from the deeper layer.
+func Stamp() int64 {
+	return clock.Unix()
+}
+
+// Span propagates time.Since taint.
+func Span(start time.Time) time.Duration {
+	return clock.Span(start)
+}
+
+// Region is an env taint source.
+func Region() string {
+	return os.Getenv("LM_REGION")
+}
+
+// Jitter is a global-rand taint source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Collect is a maporder taint source: it accumulates in map iteration
+// order and never sorts.
+func Collect(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys accumulates during map iteration but canonicalises with a
+// sort, so it seeds no taint.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Draw uses the keyed netsim API; the sanitizer keeps it clean.
+func Draw(seed uint64) float64 {
+	return netsim.DerivedRand(seed).Float64()
+}
+
+// Bench calls a clock read whose source line is inline-suppressed, so it
+// carries no taint.
+func Bench() int64 {
+	return clock.Bench()
+}
+
+// Sampler exercises method-call edges in the call graph.
+type Sampler struct {
+	vals map[string]float64
+}
+
+// NewSampler builds a sampler over the given values.
+func NewSampler(vals map[string]float64) *Sampler {
+	return &Sampler{vals: vals}
+}
+
+// Flatten is a maporder taint source reached through a method call.
+func (s *Sampler) Flatten() []float64 {
+	var out []float64
+	for _, v := range s.vals {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package experiments is the dettaint fixture's sink package: its
+// exported functions are the entry points the taint engine guards. The
+// "want" comments assert the witness chains the analyzer must print.
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/dettaint/helper"
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/dettaint/internal/netsim"
+)
+
+// TaintedClock reaches time.Now through two helper layers.
+func TaintedClock() int64 { // want "reaches time.Now: experiments.TaintedClock ← helper.Stamp ← clock.Unix ← time.Now"
+	return helper.Stamp()
+}
+
+// TaintedSince reaches time.Since.
+func TaintedSince(start time.Time) time.Duration { // want "reaches time.Since: experiments.TaintedSince ← helper.Span ← clock.Span ← time.Since"
+	return helper.Span(start)
+}
+
+// TaintedEnv reaches an ambient environment read.
+func TaintedEnv() string { // want "reaches os.Getenv: experiments.TaintedEnv ← helper.Region ← os.Getenv"
+	return helper.Region()
+}
+
+// TaintedRand reaches the globally seeded math/rand.
+func TaintedRand() float64 { // want "reaches global math/rand.Float64: experiments.TaintedRand ← helper.Jitter ← global math/rand.Float64"
+	return helper.Jitter()
+}
+
+// TaintedOrder accumulates in map-iteration order via a helper and never
+// sorts.
+func TaintedOrder(m map[string]float64) []float64 { // want "reaches unsorted map iteration: experiments.TaintedOrder ← helper.Collect ← unsorted map iteration"
+	return helper.Collect(m)
+}
+
+// TaintedMethod reaches a maporder source through a method call, proving
+// receiver-resolved edges.
+func TaintedMethod(s *helper.Sampler) []float64 { // want "experiments.TaintedMethod ← helper.(*Sampler).Flatten ← unsorted map iteration"
+	return s.Flatten()
+}
+
+// TaintedDirect is itself the source: the chain has a single link.
+func TaintedDirect(xs []int) { // want "reaches global math/rand.Shuffle: experiments.TaintedDirect ← global math/rand.Shuffle"
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// TaintedBoth reaches two kinds of nondeterminism; both are reported.
+func TaintedBoth() string { // want "experiments.TaintedBoth ← helper.Stamp ← clock.Unix ← time.Now" want "experiments.TaintedBoth ← helper.Region ← os.Getenv"
+	_ = helper.Stamp()
+	return helper.Region()
+}
+
+// CleanSorted consumes a maporder-tainted helper but canonicalises with
+// a sort, which blocks maporder propagation at this caller.
+func CleanSorted(m map[string]float64) []float64 {
+	vs := helper.Collect(m)
+	sort.Float64s(vs)
+	return vs
+}
+
+// CleanKeys uses a helper that sorts internally.
+func CleanKeys(m map[string]float64) []string {
+	return helper.SortedKeys(m)
+}
+
+// CleanDraw stays inside the keyed randomness API.
+func CleanDraw() float64 {
+	return helper.Draw(7)
+}
+
+// CleanSanitized calls the sanitizer directly; the env read inside
+// DerivedRand must not escape it.
+func CleanSanitized() float64 {
+	return netsim.DerivedRand(11).Float64()
+}
+
+// CleanIgnoredSource depends on a clock read whose source line carries an
+// inline suppression, so no taint arrives here.
+func CleanIgnoredSource() int64 {
+	return helper.Bench()
+}
+
+// IgnoredEntry is tainted, but the accepted finding is suppressed at the
+// declaration with a trailing directive.
+func IgnoredEntry() int64 { //lmvet:ignore dettaint fixture: accepted entry-point suppression
+	return helper.Stamp()
+}
+
+//lmvet:ignore dettaint fixture: standalone directive covers the next line
+func IgnoredAbove() float64 {
+	return helper.Jitter()
+}
+
+// unexportedEntry is tainted but not exported, so it is not a sink.
+func unexportedEntry() int64 {
+	return helper.Stamp()
+}

@@ -1,0 +1,45 @@
+// Package netsim is the dettaint fixture's stand-in for the repo's keyed
+// randomness API. Its exported constructors are taint sanitizers: the
+// engine must never propagate taint out of DerivedRand, MixSeed,
+// NewStream, or Stream.Derive, even though DerivedRand's body below
+// deliberately contains what would otherwise be an env source.
+package netsim
+
+import (
+	"math/rand"
+	"os"
+)
+
+// MixSeed reduces identifier parts to one seed.
+func MixSeed(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p
+		h *= 0xbf58476d1ce4e5b9
+	}
+	return h
+}
+
+// DerivedRand returns a PRNG keyed by the mixed parts. The os.Getenv
+// call exists to prove sanitizer status stops taint at this boundary.
+func DerivedRand(parts ...uint64) *rand.Rand {
+	if os.Getenv("LMVET_FIXTURE_TRACE") != "" {
+		_ = len(parts)
+	}
+	return rand.New(rand.NewSource(int64(MixSeed(parts...))))
+}
+
+// Stream is the reusable keyed PRNG.
+type Stream struct {
+	*rand.Rand
+}
+
+// NewStream returns an unkeyed Stream.
+func NewStream() *Stream {
+	return &Stream{Rand: rand.New(rand.NewSource(1))}
+}
+
+// Derive re-keys the stream.
+func (s *Stream) Derive(parts ...uint64) {
+	s.Rand = rand.New(rand.NewSource(int64(MixSeed(parts...))))
+}

@@ -79,19 +79,25 @@ func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
 // It returns ok=false for method calls, local closures, conversions,
 // and builtins.
 func pkgFunc(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	return resolvePkgFunc(pass.Info, call)
+}
+
+// resolvePkgFunc is pkgFunc over a bare *types.Info, for analyses (the
+// call-graph taint engine) that walk packages outside a per-package Pass.
+func resolvePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		if sel, isSel := pass.Info.Selections[fun]; isSel && sel != nil {
+		if sel, isSel := info.Selections[fun]; isSel && sel != nil {
 			return "", "", false // method or field call
 		}
-		obj := pass.Info.ObjectOf(fun.Sel)
+		obj := info.ObjectOf(fun.Sel)
 		fn, isFn := obj.(*types.Func)
 		if !isFn || fn.Pkg() == nil {
 			return "", "", false
 		}
 		return fn.Pkg().Path(), fn.Name(), true
 	case *ast.Ident:
-		obj := pass.Info.ObjectOf(fun)
+		obj := info.ObjectOf(fun)
 		fn, isFn := obj.(*types.Func)
 		if !isFn || fn.Pkg() == nil {
 			return "", "", false
@@ -102,6 +108,19 @@ func pkgFunc(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
 		return fn.Pkg().Path(), fn.Name(), true
 	}
 	return "", "", false
+}
+
+// typeOf returns the type of expression e from info, or nil if unknown.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
 }
 
 // calleeName returns the bare name of whatever a call invokes: the

@@ -177,6 +177,7 @@ func (e *Estimator) Series(minIPs int) *timeseries.Series {
 			continue
 		}
 		perIP = perIP[:0]
+		//lmvet:ignore dettaint median is an order statistic: MedianInPlace selects by value, so per-IP accumulation order cannot show through
 		for _, acc := range bin {
 			perIP = append(perIP, acc.sum/float64(acc.n))
 		}

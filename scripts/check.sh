@@ -14,7 +14,8 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> lmvet ./..."
-go run ./cmd/lmvet ./...
+mkdir -p artifacts
+go run ./cmd/lmvet -baseline lmvet.baseline -sarif artifacts/lmvet.sarif ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
