@@ -1,21 +1,29 @@
 // Command lmmonitor runs the streaming (online) variant of the pipeline:
 // it consumes newline-delimited Atlas traceroute JSON from a file or
-// stdin, maintains a sliding window per AS, and prints a live
-// classification table at a configurable cadence of stream time — the
-// operational mode of a continuously-running last-mile monitor.
+// stdin, maintains a sliding window per AS over the sharded incremental
+// delay engine, and prints a live classification table at a configurable
+// cadence of stream time — the operational mode of a continuously-running
+// last-mile monitor.
+//
+// On SIGINT or SIGTERM the monitor flushes a final classification report
+// and its ingestion statistics before exiting instead of dying
+// mid-stream.
 //
 // Usage:
 //
 //	atlasgen -isp A -days 8 | lmmonitor -every 48h
-//	lmmonitor -in traces.jsonl -rib rib.txt -window 120h
+//	lmmonitor -in traces.jsonl -rib rib.txt -window 120h -shards 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	lastmile "github.com/last-mile-congestion/lastmile"
@@ -26,20 +34,22 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
-		ribIn  = flag.String("rib", "", "optional RIB file for probe->AS mapping")
-		window = flag.Duration("window", 15*24*time.Hour, "sliding analysis window")
-		every  = flag.Duration("every", 24*time.Hour, "stream-time interval between classification reports")
-		sortIn = flag.Bool("sort", true, "sort input by timestamp before feeding the monitor (file dumps are grouped by measurement, not time; disable for genuinely ordered streams)")
+		in      = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
+		ribIn   = flag.String("rib", "", "optional RIB file for probe->AS mapping")
+		window  = flag.Duration("window", 15*24*time.Hour, "sliding analysis window")
+		every   = flag.Duration("every", 24*time.Hour, "stream-time interval between classification reports")
+		sortIn  = flag.Bool("sort", true, "sort input by timestamp before feeding the monitor (file dumps are grouped by measurement, not time; disable for genuinely ordered streams)")
+		shards  = flag.Int("shards", 0, "engine lock stripes for concurrent ingestion (0 = GOMAXPROCS; verdicts are identical at any count)")
+		workers = flag.Int("workers", 0, "worker goroutines for classification reports (0 = GOMAXPROCS; output is identical at any count)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *window, *every, *sortIn); err != nil {
+	if err := run(*in, *ribIn, *window, *every, *sortIn, *shards, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "lmmonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
+func run(in, ribIn string, window, every time.Duration, sortIn bool, shards, workers int) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -63,7 +73,10 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
 		rib = parsed
 	}
 
-	monitor := stream.NewMonitor(stream.Options{Window: window})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	monitor := stream.NewMonitor(stream.Options{Window: window, Shards: shards, Workers: workers})
 	feed := func(res *lastmile.Result) error {
 		asn := lastmile.ASN(0)
 		if rib != nil && res.FromAddr.IsValid() {
@@ -84,7 +97,7 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
 			return nil
 		}
 		if !res.Timestamp.Before(nextReport) {
-			if err := printVerdicts(monitor, res.Timestamp); err != nil {
+			if err := printReport(monitor, res.Timestamp); err != nil {
 				return err
 			}
 			nextReport = res.Timestamp.Add(every)
@@ -92,52 +105,104 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool) error {
 		return nil
 	}
 
-	sc := lastmile.NewResultScanner(r)
-	if sortIn {
-		var buffered []*lastmile.Result
+	// The scanner feeds a channel so that the processing loop can also
+	// watch for termination signals; results is closed when the input is
+	// exhausted, with any scan error left in scanErr.
+	results := make(chan *lastmile.Result)
+	var scanErr error
+	go func() {
+		defer close(results)
+		sc := lastmile.NewResultScanner(r)
+		if sortIn {
+			var buffered []*lastmile.Result
+			for sc.Scan() {
+				buffered = append(buffered, sc.Result())
+			}
+			if scanErr = sc.Err(); scanErr != nil {
+				return
+			}
+			sort.SliceStable(buffered, func(i, j int) bool {
+				return buffered[i].Timestamp.Before(buffered[j].Timestamp)
+			})
+			for _, res := range buffered {
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+			return
+		}
 		for sc.Scan() {
-			buffered = append(buffered, sc.Result())
+			select {
+			case results <- sc.Result():
+			case <-ctx.Done():
+				return
+			}
 		}
-		if err := sc.Err(); err != nil {
-			return err
-		}
-		sort.SliceStable(buffered, func(i, j int) bool {
-			return buffered[i].Timestamp.Before(buffered[j].Timestamp)
-		})
-		for _, res := range buffered {
+		scanErr = sc.Err()
+	}()
+
+	interrupted := false
+loop:
+	for {
+		select {
+		case res, ok := <-results:
+			if !ok {
+				break loop
+			}
 			if err := process(res); err != nil {
 				return err
 			}
-		}
-	} else {
-		for sc.Scan() {
-			if err := process(sc.Result()); err != nil {
-				return err
-			}
-		}
-		if err := sc.Err(); err != nil {
-			return err
+		case <-ctx.Done():
+			interrupted = true
+			break loop
 		}
 	}
-	ingested, dropped := monitor.Stats()
-	fmt.Printf("\nend of stream (%d ingested, %d dropped as too late); final state:\n", ingested, dropped)
-	return printVerdicts(monitor, time.Time{})
+	if !interrupted && scanErr != nil {
+		return scanErr
+	}
+
+	if interrupted {
+		fmt.Printf("\ninterrupted; final state:\n")
+	} else {
+		fmt.Printf("\nend of stream; final state:\n")
+	}
+	printStats(monitor)
+	return printReport(monitor, time.Time{})
 }
 
-func printVerdicts(m *stream.Monitor, at time.Time) error {
+// printStats renders the ingestion counters and live window gauges so
+// operators can see what the window holds in memory.
+func printStats(m *stream.Monitor) {
+	st := m.Stats()
+	fmt.Printf("ingested %d, dropped %d (too late), window: %d AS(es), %d probe(s), %d bin(s), %d sample(s), %d bin(s) evicted\n",
+		st.Ingested, st.Dropped, st.ASes, st.Probes, st.Bins, st.Samples, st.EvictedBins)
+}
+
+func printReport(m *stream.Monitor, at time.Time) error {
 	if !at.IsZero() {
 		fmt.Printf("\n== %s ==\n", at.UTC().Format(time.RFC3339))
+		printStats(m)
 	}
-	verdicts := m.ClassifyAll()
-	if len(verdicts) == 0 {
+	verdicts, skipped := m.ClassifyAll()
+	if len(verdicts) == 0 && len(skipped) == 0 {
 		fmt.Println("(no classifiable AS yet — windows warming up)")
 		return nil
 	}
-	tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "window signal")
-	for _, v := range verdicts {
-		tb.AddRowf(v.ASN.String(), v.Probes, v.Class.String(),
-			fmt.Sprintf("%.2f", v.DailyAmplitude),
-			report.Sparkline(report.Downsample(v.Signal.Values, 48), 0))
+	if len(verdicts) > 0 {
+		tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "window signal")
+		for _, v := range verdicts {
+			tb.AddRowf(v.ASN.String(), v.Probes, v.Class.String(),
+				fmt.Sprintf("%.2f", v.DailyAmplitude),
+				report.Sparkline(report.Downsample(v.Signal.Values, 48), 0))
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
-	return tb.Render(os.Stdout)
+	for _, s := range skipped {
+		fmt.Printf("skipped %s: %v\n", s.ASN, s.Reason)
+	}
+	return nil
 }

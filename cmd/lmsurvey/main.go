@@ -5,32 +5,33 @@
 // It reads newline-delimited RIPE Atlas traceroute JSON — either genuine
 // Atlas API output or cmd/atlasgen's synthetic data — groups probes by
 // origin AS (via an optional RIB for longest-prefix match, else by the
-// probe's source), and classifies every AS.
+// probe's source), attributes each traceroute, and hands the attributed
+// dataset to the batch survey runner, which replays it through the
+// shared incremental delay engine and classifies every AS.
 //
 // Usage:
 //
 //	atlasgen -isp A -days 8 | lmsurvey
 //	lmsurvey -in traces.jsonl -rib rib.txt -csv signals/
-//	lmsurvey -in traces.jsonl -workers 8
+//	lmsurvey -in traces.jsonl -workers 8 -shards 8
 //
-// The per-AS pipeline fans out over -workers goroutines (default
-// GOMAXPROCS); the report is byte-identical at any worker count.
+// The survey fans out over -workers goroutines and -shards engine lock
+// stripes (both default GOMAXPROCS); the report is byte-identical at any
+// worker or shard count.
 package main
 
 import (
-	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"time"
 
 	lastmile "github.com/last-mile-congestion/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/ioutil"
-	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 )
 
@@ -41,18 +42,16 @@ func main() {
 		probesIn = flag.String("probes", "", "optional probe metadata file (Atlas probe-archive JSON) for probe->AS mapping and anchor exclusion")
 		csvDir   = flag.String("csv", "", "optional directory for per-AS signal CSV dumps")
 		workers  = flag.Int("workers", 0, "worker goroutines for the per-AS pipeline (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
+		shards   = flag.Int("shards", 0, "engine lock stripes for the replay (0 = GOMAXPROCS; output is identical at any count)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *probesIn, *csvDir, *workers); err != nil {
+	if err := run(*in, *ribIn, *probesIn, *csvDir, *workers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "lmsurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, ribIn, probesIn, csvDir string, workers int) error {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+func run(in, ribIn, probesIn, csvDir string, workers, shards int) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -89,21 +88,19 @@ func run(in, ribIn, probesIn, csvDir string, workers int) error {
 		registry = parsed
 	}
 
-	// Pass 1 is avoided: results are buffered per probe, and the
-	// accumulator range is derived from observed timestamps.
-	type probeData struct {
-		asn     lastmile.ASN
-		results []*lastmile.Result
-	}
-	probes := map[int]*probeData{}
+	// Attribution pass: resolve each probe's origin AS once (probe
+	// metadata, when given, drives AS attribution and the §2 anchor
+	// exclusion; a RIB longest-prefix match is the fallback) and tag
+	// every traceroute with it. The survey runner does the rest.
+	probeASN := map[int]lastmile.ASN{}
+	asProbes := map[lastmile.ASN]map[int]bool{}
+	var results []lastmile.AttributedResult
 	var tMin, tMax time.Time
 	sc := lastmile.NewResultScanner(r)
 	total, anchorsSkipped := 0, 0
 	for sc.Scan() {
 		res := sc.Result()
 		total++
-		// Probe metadata, when given, drives AS attribution and the §2
-		// anchor exclusion; a RIB longest-prefix match is the fallback.
 		var meta *lastmile.ProbeInfo
 		if registry != nil {
 			if info, ok := registry.ByID(res.ProbeID); ok {
@@ -114,20 +111,23 @@ func run(in, ribIn, probesIn, csvDir string, workers int) error {
 				meta = info
 			}
 		}
-		pd := probes[res.ProbeID]
-		if pd == nil {
-			pd = &probeData{}
+		asn, seen := probeASN[res.ProbeID]
+		if !seen {
 			switch {
 			case meta != nil && meta.ASNv4 != 0:
-				pd.asn = meta.ASNv4
+				asn = meta.ASNv4
 			case rib != nil && res.FromAddr.IsValid():
-				if asn, err := rib.OriginOf(res.FromAddr); err == nil {
-					pd.asn = asn
+				if origin, err := rib.OriginOf(res.FromAddr); err == nil {
+					asn = origin
 				}
 			}
-			probes[res.ProbeID] = pd
+			probeASN[res.ProbeID] = asn
 		}
-		pd.results = append(pd.results, res)
+		if asProbes[asn] == nil {
+			asProbes[asn] = map[int]bool{}
+		}
+		asProbes[asn][res.ProbeID] = true
+		results = append(results, lastmile.AttributedResult{ASN: asn, Result: res})
 		if tMin.IsZero() || res.Timestamp.Before(tMin) {
 			tMin = res.Timestamp
 		}
@@ -144,78 +144,55 @@ func run(in, ribIn, probesIn, csvDir string, workers int) error {
 	start := tMin.Truncate(lastmile.DefaultBinWidth)
 	end := tMax.Add(lastmile.DefaultBinWidth).Truncate(lastmile.DefaultBinWidth)
 
-	// Group probes by AS and run the pipeline per AS.
-	byAS := map[lastmile.ASN][]*probeData{}
-	for _, pd := range probes {
-		byAS[pd.asn] = append(byAS[pd.asn], pd)
-	}
 	fmt.Printf("lmsurvey: %d traceroutes, %d probes, %d AS group(s), %s .. %s",
-		total, len(probes), len(byAS), start.Format(time.RFC3339), end.Format(time.RFC3339))
+		total, len(probeASN), len(asProbes), start.Format(time.RFC3339), end.Format(time.RFC3339))
 	if anchorsSkipped > 0 {
 		fmt.Printf(" (%d anchor traceroutes excluded)", anchorsSkipped)
 	}
 	fmt.Print("\n\n")
 
-	tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "peak freq (c/h)", "signal")
-	asns := make([]lastmile.ASN, 0, len(byAS))
-	for asn := range byAS {
-		asns = append(asns, asn)
-	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-
-	// The per-AS pipelines are independent; fan them out and keep the
-	// table in sorted-ASN order. Each AS's verdict depends only on its
-	// own probes, so the output is identical at any worker count.
-	type asVerdict struct {
-		signal      *lastmile.Series // nil when no usable data
-		n           int
-		cls         lastmile.Classification
-		classifyErr error
-	}
-	verdicts, err := parallel.Map(context.Background(), workers, len(asns), func(i int) (asVerdict, error) {
-		group := byAS[asns[i]]
-		accs := make([]*lastmile.ProbeAccumulator, 0, len(group))
-		for _, pd := range group {
-			acc, err := lastmile.NewProbeAccumulator(pd.results[0].ProbeID, start, end, lastmile.DefaultBinWidth)
-			if err != nil {
-				return asVerdict{}, err
-			}
-			for _, res := range pd.results {
-				if err := acc.Add(res); err != nil {
-					return asVerdict{}, err
-				}
-			}
-			accs = append(accs, acc)
-		}
-		signal, n, err := lastmile.PopulationDelay(accs, lastmile.DefaultMinTraceroutes)
-		if err != nil {
-			return asVerdict{}, nil // no usable data; keep the row
-		}
-		cls, err := lastmile.Classify(signal, lastmile.DefaultClassifierOptions())
-		if err != nil {
-			return asVerdict{signal: signal, n: n, classifyErr: err}, nil
-		}
-		return asVerdict{signal: signal, n: n, cls: cls}, nil
+	survey, skipped, err := lastmile.RunSurvey(start.Format("2006-01"), results, lastmile.SurveyOptions{
+		Start:   start,
+		End:     end,
+		Workers: workers,
+		Shards:  shards,
 	})
 	if err != nil {
 		return err
 	}
-	for i, asn := range asns {
-		v := verdicts[i]
-		switch {
-		case v.signal == nil:
-			tb.AddRowf(asn.String(), len(byAS[asn]), "(no usable data)", "-", "-", "")
-		case v.classifyErr != nil:
-			tb.AddRowf(asn.String(), v.n, fmt.Sprintf("(unclassifiable: %v)", v.classifyErr), "-", "-", "")
-		default:
-			tb.AddRowf(asn.String(), v.n, v.cls.Class.String(),
-				fmt.Sprintf("%.2f", v.cls.DailyAmplitude),
-				fmt.Sprintf("%.3f", v.cls.Peak.Freq),
-				report.Sparkline(report.Downsample(v.signal.Values, 48), 0))
-			if csvDir != "" {
-				if err := dumpCSV(csvDir, asn, v.signal); err != nil {
-					return err
-				}
+	skipReason := map[lastmile.ASN]error{}
+	for _, s := range skipped {
+		skipReason[s.ASN] = s.Reason
+	}
+
+	// One row per input AS in ASN order: classified ASes with their
+	// verdicts, skipped ASes with their reasons.
+	asns := make([]lastmile.ASN, 0, survey.Len()+len(skipped))
+	asns = append(asns, survey.ASNs()...)
+	for _, s := range skipped {
+		asns = append(asns, s.ASN)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	tb := report.NewTable("AS", "probes", "class", "daily amp (ms)", "peak freq (c/h)", "signal")
+	for _, asn := range asns {
+		res := survey.Results[asn]
+		if res == nil {
+			reason := skipReason[asn]
+			label := fmt.Sprintf("(unclassifiable: %v)", reason)
+			if errors.Is(reason, lastmile.ErrNoUsableData) {
+				label = "(no usable data)"
+			}
+			tb.AddRowf(asn.String(), len(asProbes[asn]), label, "-", "-", "")
+			continue
+		}
+		tb.AddRowf(asn.String(), res.Probes, res.Class.String(),
+			fmt.Sprintf("%.2f", res.DailyAmplitude),
+			fmt.Sprintf("%.3f", res.Peak.Freq),
+			report.Sparkline(report.Downsample(res.Signal.Values, 48), 0))
+		if csvDir != "" {
+			if err := dumpCSV(csvDir, asn, res.Signal); err != nil {
+				return err
 			}
 		}
 	}

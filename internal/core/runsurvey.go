@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/engine"
+	lm "github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// AttributedResult pairs one traceroute result with its origin AS.
+// Attribution (RIB longest-prefix match, probe metadata, or a fixed
+// mapping) is the caller's concern; the survey only needs the pairing.
+type AttributedResult struct {
+	ASN    bgp.ASN
+	Result *traceroute.Result
+}
+
+// SurveyOptions configures RunSurvey.
+type SurveyOptions struct {
+	// BinWidth is the aggregation bin (default 30 minutes).
+	BinWidth time.Duration
+	// MinTraceroutes is the per-bin sanity threshold (default 3).
+	MinTraceroutes int
+	// Start and End bound the measurement period. Zero values are
+	// derived from the data: Start floors the earliest timestamp to a
+	// bin boundary, End ceils the latest.
+	Start, End time.Time
+	// Classifier configures the detector; the zero value selects
+	// DefaultClassifierOptions.
+	Classifier ClassifierOptions
+	// Workers bounds the per-AS classification fan-out (default
+	// GOMAXPROCS). Results are identical at any worker count.
+	Workers int
+	// Shards is the engine's lock-stripe count (default 1). Results are
+	// identical at any shard count.
+	Shards int
+}
+
+// withDefaults fills zero fields.
+func (o SurveyOptions) withDefaults() SurveyOptions {
+	if o.BinWidth == 0 {
+		o.BinWidth = lm.DefaultBinWidth
+	}
+	if o.MinTraceroutes == 0 {
+		o.MinTraceroutes = lm.DefaultMinTraceroutes
+	}
+	if o.Classifier.MaxGapFrac == 0 {
+		o.Classifier = DefaultClassifierOptions()
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	return o
+}
+
+// SkippedAS records why an AS present in the input produced no survey
+// verdict, so a misbehaving AS is observable instead of silently
+// vanishing from the report.
+type SkippedAS struct {
+	ASN    bgp.ASN
+	Reason error
+}
+
+// ErrNoUsableData marks an AS none of whose traceroutes carried a
+// usable last-mile segment.
+var ErrNoUsableData = errors.New("no usable last-mile data")
+
+// RunSurvey runs the paper's batch pipeline (§2.1 + §2.3) over one
+// completed measurement period: it replays the attributed results
+// through the shared incremental delay engine (the same engine the
+// streaming monitor drives continuously), then classifies every AS.
+// ASes that cannot be classified are returned with their reasons. The
+// survey is identical at any Workers and Shards count, and identical to
+// streaming the same results through stream.Monitor with a window
+// covering the period.
+func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*Survey, []SkippedAS, error) {
+	opts = opts.withDefaults()
+	if len(results) == 0 {
+		return nil, nil, errors.New("core: no results to survey")
+	}
+
+	// Derive the period bounds from the data when not pinned.
+	start, end := opts.Start, opts.End
+	if start.IsZero() || end.IsZero() {
+		tMin, tMax := results[0].Result.Timestamp, results[0].Result.Timestamp
+		for _, ar := range results[1:] {
+			if ar.Result.Timestamp.Before(tMin) {
+				tMin = ar.Result.Timestamp
+			}
+			if ar.Result.Timestamp.After(tMax) {
+				tMax = ar.Result.Timestamp
+			}
+		}
+		if start.IsZero() {
+			start = tMin.Truncate(opts.BinWidth)
+		}
+		if end.IsZero() {
+			end = tMax.Add(opts.BinWidth).Truncate(opts.BinWidth)
+		}
+	}
+	if !start.Before(end) {
+		return nil, nil, fmt.Errorf("core: survey period start %v does not precede end %v", start, end)
+	}
+	nBins := int(end.Sub(start) / opts.BinWidth)
+	if end.Sub(start)%opts.BinWidth != 0 {
+		nBins++
+	}
+
+	// Replay the period through an unbounded engine. Per-bin medians
+	// are permutation-invariant, so the feed order does not matter and
+	// ingestion can fan out across the engine's lock stripes.
+	eng := engine.New(engine.Options{
+		BinWidth:       opts.BinWidth,
+		MinTraceroutes: opts.MinTraceroutes,
+		Shards:         opts.Shards,
+	})
+	err := parallel.ForEach(context.Background(), opts.Workers, len(results), func(i int) error {
+		ar := results[i]
+		if ar.Result == nil {
+			return fmt.Errorf("core: nil result at index %d", i)
+		}
+		if samples, _, ok := lm.Estimate(ar.Result); ok {
+			eng.Observe(ar.ASN, ar.Result.ProbeID, ar.Result.Timestamp, samples)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The AS universe covers every attributed AS, not just those with
+	// usable samples, so wholly-unusable ASes surface as skipped.
+	seen := make(map[bgp.ASN]bool)
+	var universe []bgp.ASN
+	for _, ar := range results {
+		if !seen[ar.ASN] {
+			seen[ar.ASN] = true
+			universe = append(universe, ar.ASN)
+		}
+	}
+	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
+	engineASes := make(map[bgp.ASN]bool)
+	for _, asn := range eng.ASNs() {
+		engineASes[asn] = true
+	}
+
+	type verdict struct {
+		result *ASResult
+		reason error
+	}
+	verdicts, err := parallel.Map(context.Background(), opts.Workers, len(universe), func(i int) (verdict, error) {
+		asn := universe[i]
+		if !engineASes[asn] {
+			return verdict{reason: ErrNoUsableData}, nil
+		}
+		signal, n, err := eng.Signal(asn, start, nBins)
+		if err != nil {
+			return verdict{reason: err}, nil
+		}
+		cls, err := Classify(signal, opts.Classifier)
+		if err != nil {
+			return verdict{reason: fmt.Errorf("unclassifiable: %w", err)}, nil
+		}
+		return verdict{result: &ASResult{ASN: asn, Probes: n, Signal: signal, Classification: cls}}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	survey := NewSurvey(period)
+	var skipped []SkippedAS
+	for i, v := range verdicts {
+		switch {
+		case v.result != nil:
+			survey.Add(v.result)
+		default:
+			skipped = append(skipped, SkippedAS{ASN: universe[i], Reason: v.reason})
+		}
+	}
+	return survey, skipped, nil
+}

@@ -1,0 +1,359 @@
+// Package engine implements the shared incremental per-probe binning
+// engine of the last-mile pipeline (§2.1): bin keying, the <3-traceroute
+// discard rule, exact incremental per-bin medians, min-subtraction, and
+// population aggregation. The paper's math lives here exactly once —
+// the batch survey (internal/core.RunSurvey) replays a completed period
+// through an unbounded engine, and the streaming monitor
+// (internal/stream.Monitor) drives a windowed engine continuously; both
+// produce bit-for-bit identical signals from the same observations.
+//
+// State is striped over N shards keyed by ASN, each with its own lock,
+// so concurrent ingestion of different ASes never contends. The newest
+// observation timestamp is a single atomic watermark; a shard sweeps
+// its expired bins only when the watermark has crossed a bin boundary
+// since the shard's last sweep, so eviction cost is amortised to one
+// full-shard pass per bin width instead of one per ingested result.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// BinWidth is the aggregation bin (default 30 minutes, §2.1).
+	BinWidth time.Duration
+	// MinTraceroutes is the per-bin sanity threshold (default 3): bins
+	// with fewer measurement groups are gaps.
+	MinTraceroutes int
+	// Window bounds resident state: observations older than
+	// Window+MaxLateness behind the newest observation are dropped on
+	// ingest and evicted from memory. Zero means unbounded — the batch
+	// replay mode, where a completed period is fed in full.
+	Window time.Duration
+	// MaxLateness tolerates out-of-order arrivals within a windowed
+	// engine (default 1 hour when Window > 0).
+	MaxLateness time.Duration
+	// Shards is the number of lock stripes state is spread over, keyed
+	// by ASN (default 1). Results are identical at any shard count.
+	Shards int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.BinWidth == 0 {
+		o.BinWidth = lastmile.DefaultBinWidth
+	}
+	if o.MinTraceroutes == 0 {
+		o.MinTraceroutes = lastmile.DefaultMinTraceroutes
+	}
+	if o.MaxLateness == 0 && o.Window > 0 {
+		o.MaxLateness = time.Hour
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	return o
+}
+
+// Stats reports the engine's ingestion counters and live window gauges.
+type Stats struct {
+	// Ingested and Dropped count accepted results and results that
+	// arrived beyond the lateness horizon.
+	Ingested, Dropped int64
+	// ASes, Probes, Bins, and Samples gauge the resident window state.
+	ASes, Probes, Bins, Samples int64
+	// EvictedBins counts bins removed by watermark sweeps.
+	EvictedBins int64
+}
+
+// add accumulates per-shard stats into s.
+func (s *Stats) add(o Stats) {
+	s.Ingested += o.Ingested
+	s.Dropped += o.Dropped
+	s.ASes += o.ASes
+	s.Probes += o.Probes
+	s.Bins += o.Bins
+	s.Samples += o.Samples
+	s.EvictedBins += o.EvictedBins
+}
+
+// probeWindow is one probe's resident bins, keyed by bin-start unix
+// seconds (epoch-aligned, so batch and streaming agree on boundaries).
+type probeWindow struct {
+	bins map[int64]*timeseries.IncrementalBin
+}
+
+// asWindow is one AS's probes.
+type asWindow struct {
+	probes map[int]*probeWindow
+}
+
+// shard is one lock stripe: the ASes hashing to it, plus counters and
+// the eviction watermark.
+type shard struct {
+	mu    sync.Mutex
+	ases  map[bgp.ASN]*asWindow
+	// swept is the newest-observation bin key the shard last swept at;
+	// a sweep runs only when the global watermark crosses into a new
+	// bin, amortising eviction to one pass per bin width.
+	swept             int64
+	ingested, dropped int64
+	probes, bins      int64
+	samples           int64
+	evictedBins       int64
+}
+
+// Engine is the sharded incremental delay engine. It is safe for
+// concurrent use.
+type Engine struct {
+	opts Options
+	// newest is the latest observation timestamp in unix nanoseconds,
+	// advanced by CAS so ingestion never serialises across shards.
+	newest atomic.Int64
+	shards []*shard
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range e.shards {
+		e.shards[i] = &shard{ases: make(map[bgp.ASN]*asWindow), swept: -1 << 62}
+	}
+	e.newest.Store(-1 << 62)
+	return e
+}
+
+// Options returns the engine's effective (default-filled) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// shardOf maps an ASN to its lock stripe. Fibonacci hashing spreads
+// sequential ASNs (common in test and simulated worlds) evenly.
+func (e *Engine) shardOf(asn bgp.ASN) *shard {
+	h := uint64(asn) * 0x9e3779b97f4a7c15
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// binKey returns the epoch-aligned bin start (unix seconds) covering the
+// unix-second timestamp sec.
+func (e *Engine) binKey(sec int64) int64 {
+	w := int64(e.opts.BinWidth / time.Second)
+	k := sec % w
+	if k < 0 {
+		k += w
+	}
+	return sec - k
+}
+
+// Observe ingests one measurement group (one traceroute's last-mile
+// samples) for the given AS and probe at time t. It reports whether the
+// result was accepted; false means it fell beyond the lateness horizon
+// of a windowed engine and was dropped.
+func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float64) bool {
+	ts := t.UnixNano()
+	for {
+		cur := e.newest.Load()
+		if ts <= cur || e.newest.CompareAndSwap(cur, ts) {
+			break
+		}
+	}
+	sh := e.shardOf(asn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.opts.Window > 0 {
+		newest := e.newest.Load()
+		if ts < newest-int64(e.opts.Window)-int64(e.opts.MaxLateness) {
+			sh.dropped++
+			return false
+		}
+		// Amortised eviction: sweep only when the watermark entered a
+		// new bin since this shard's last sweep.
+		if nk := e.binKey(newest / int64(time.Second)); nk > sh.swept {
+			e.evictShardLocked(sh, newest)
+			sh.swept = nk
+		}
+	}
+	aw := sh.ases[asn]
+	if aw == nil {
+		aw = &asWindow{probes: make(map[int]*probeWindow)}
+		sh.ases[asn] = aw
+	}
+	pw := aw.probes[probeID]
+	if pw == nil {
+		pw = &probeWindow{bins: make(map[int64]*timeseries.IncrementalBin)}
+		aw.probes[probeID] = pw
+		sh.probes++
+	}
+	key := e.binKey(t.Unix())
+	b := pw.bins[key]
+	if b == nil {
+		b = &timeseries.IncrementalBin{}
+		pw.bins[key] = b
+		sh.bins++
+	}
+	before := b.Len()
+	b.AddGroup(samples)
+	sh.samples += int64(b.Len() - before)
+	sh.ingested++
+	return true
+}
+
+// evictShardLocked removes the shard's bins that slipped out of the
+// window, along with emptied probes and ASes. Eviction never changes
+// results — out-of-window bins are already ignored by Signal — it only
+// bounds memory.
+func (e *Engine) evictShardLocked(sh *shard, newestNano int64) {
+	horizon := (newestNano - int64(e.opts.Window) - int64(e.opts.MaxLateness)) / int64(time.Second)
+	for asn, aw := range sh.ases {
+		for id, pw := range aw.probes {
+			for key, b := range pw.bins {
+				if key < horizon {
+					sh.samples -= int64(b.Len())
+					sh.bins--
+					sh.evictedBins++
+					delete(pw.bins, key)
+				}
+			}
+			if len(pw.bins) == 0 {
+				delete(aw.probes, id)
+				sh.probes--
+			}
+		}
+		if len(aw.probes) == 0 {
+			delete(sh.ases, asn)
+		}
+	}
+}
+
+// Newest returns the latest observation timestamp, or a zero time when
+// nothing has been observed.
+func (e *Engine) Newest() (time.Time, bool) {
+	n := e.newest.Load()
+	if n == -1<<62 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n).UTC(), true
+}
+
+// WindowBounds derives the analysis window ending at the bin boundary
+// just past the newest observation: [start, start + nBins*BinWidth).
+// ok is false for an unbounded engine or before any observation.
+func (e *Engine) WindowBounds() (start time.Time, nBins int, ok bool) {
+	if e.opts.Window == 0 {
+		return time.Time{}, 0, false
+	}
+	newest, ok := e.Newest()
+	if !ok {
+		return time.Time{}, 0, false
+	}
+	end := newest.Add(e.opts.BinWidth).Truncate(e.opts.BinWidth)
+	return end.Add(-e.opts.Window), int(e.opts.Window / e.opts.BinWidth), true
+}
+
+// ASNs returns the ASes with resident state, sorted.
+func (e *Engine) ASNs() []bgp.ASN {
+	var out []bgp.ASN
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for asn := range sh.ases {
+			out = append(out, asn)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats sums the per-shard counters and gauges.
+func (e *Engine) Stats() Stats {
+	var out Stats
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		out.add(Stats{
+			Ingested: sh.ingested, Dropped: sh.dropped,
+			ASes: int64(len(sh.ases)), Probes: sh.probes,
+			Bins: sh.bins, Samples: sh.samples,
+			EvictedBins: sh.evictedBins,
+		})
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Signal computes the §2.1 population queuing-delay signal of one AS
+// over the window [start, start + nBins*BinWidth): per-probe median-RTT
+// series with the <MinTraceroutes discard rule applied, per-probe
+// min-subtraction, then the median across probes. It returns the signal
+// and the number of contributing probes. Only the per-probe snapshot
+// runs under the shard lock; the aggregation happens outside it.
+func (e *Engine) Signal(asn bgp.ASN, start time.Time, nBins int) (*timeseries.Series, int, error) {
+	perProbe, err := e.snapshotAS(asn, start, nBins)
+	if err != nil {
+		return nil, 0, err
+	}
+	var qds []*timeseries.Series
+	for _, s := range perProbe {
+		qd, err := timeseries.SubtractMin(s)
+		if err != nil {
+			continue
+		}
+		qds = append(qds, qd)
+	}
+	if len(qds) == 0 {
+		return nil, 0, fmt.Errorf("engine: %v has no probe with a finite baseline", asn)
+	}
+	agg, err := timeseries.AggregateMedian(qds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agg, len(qds), nil
+}
+
+// snapshotAS materialises the AS's per-probe median series over the
+// window under the shard lock. Probes with no usable bin are omitted.
+func (e *Engine) snapshotAS(asn bgp.ASN, start time.Time, nBins int) ([]*timeseries.Series, error) {
+	sh := e.shardOf(asn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	aw := sh.ases[asn]
+	if aw == nil || len(aw.probes) == 0 {
+		return nil, fmt.Errorf("engine: no state for %v", asn)
+	}
+	var perProbe []*timeseries.Series
+	for _, pw := range aw.probes {
+		s, err := timeseries.NewSeries(start, e.opts.BinWidth, nBins)
+		if err != nil {
+			return nil, err
+		}
+		usable := false
+		for key, b := range pw.bins {
+			if b.Groups() < e.opts.MinTraceroutes {
+				continue
+			}
+			i, ok := s.IndexOf(time.Unix(key, 0).UTC())
+			if !ok {
+				continue
+			}
+			if med, ok := b.Median(); ok {
+				s.Values[i] = med
+				usable = true
+			}
+		}
+		if usable {
+			perProbe = append(perProbe, s)
+		}
+	}
+	if len(perProbe) == 0 {
+		return nil, fmt.Errorf("engine: %v has no usable bins in the window", asn)
+	}
+	return perProbe, nil
+}

@@ -53,13 +53,16 @@ func medianInPlace(xs []float64) float64 {
 	for _, v := range xs[1 : n/2] {
 		lo = max(lo, v)
 	}
-	return midpoint(lo, hi)
+	return Midpoint(lo, hi)
 }
 
-// midpoint returns (a+b)/2 without intermediate overflow for any finite
+// Midpoint returns (a+b)/2 without intermediate overflow for any finite
 // a <= b: when the operands share a sign a-b cannot overflow, and when the
-// signs differ a+b cannot.
-func midpoint(a, b float64) float64 {
+// signs differ a+b cannot. It is exported because every even-count median
+// in the pipeline — sort-based, selection-based, or incremental — must
+// combine the two middle order statistics with the same arithmetic to
+// stay bit-for-bit comparable.
+func Midpoint(a, b float64) float64 {
 	if (a >= 0) == (b >= 0) {
 		return a + (b-a)/2
 	}

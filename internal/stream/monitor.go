@@ -1,22 +1,31 @@
-// Package stream provides an online variant of the last-mile pipeline
+// Package stream provides the online variant of the last-mile pipeline
 // for continuous monitoring — the operational mode of the paper's
 // released tool (raclette, the Internet Health Report's delay monitor).
-// Traceroute results arrive in roughly-increasing time order; the monitor
-// maintains a sliding window of per-probe bins with bounded memory and
-// can classify any monitored AS at any moment from the current window.
+// Traceroute results arrive in roughly-increasing time order; the
+// monitor maintains a sliding window of per-probe bins with bounded
+// memory and can classify any monitored AS at any moment from the
+// current window.
+//
+// The monitor is a thin shell over the shared incremental delay engine
+// (internal/engine): last-mile estimation feeds per-AS engine shards
+// with striped locks, so concurrent ingestion of different ASes never
+// serialises, and classification is the §2.1 + §2.3 pipeline applied to
+// the engine's window — bit-for-bit the batch pipeline's result over
+// the same observations.
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
+	"runtime"
 	"time"
 
 	"github.com/last-mile-congestion/lastmile/internal/bgp"
 	"github.com/last-mile-congestion/lastmile/internal/core"
+	"github.com/last-mile-congestion/lastmile/internal/engine"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
-	"github.com/last-mile-congestion/lastmile/internal/stats"
+	"github.com/last-mile-congestion/lastmile/internal/parallel"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
@@ -37,6 +46,13 @@ type Options struct {
 	// Window+MaxLateness behind the newest observation are dropped
 	// (default 1 hour).
 	MaxLateness time.Duration
+	// Shards is the number of engine lock stripes ingestion is spread
+	// over, keyed by ASN (default GOMAXPROCS). Verdicts are identical
+	// at any shard count.
+	Shards int
+	// Workers bounds the ClassifyAll fan-out (default GOMAXPROCS).
+	// Output is identical at any worker count.
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -44,58 +60,53 @@ func (o Options) withDefaults() Options {
 	if o.Window == 0 {
 		o.Window = 15 * 24 * time.Hour
 	}
-	if o.BinWidth == 0 {
-		o.BinWidth = lastmile.DefaultBinWidth
-	}
-	if o.MinTraceroutes == 0 {
-		o.MinTraceroutes = lastmile.DefaultMinTraceroutes
-	}
 	if o.Classifier.MaxGapFrac == 0 {
 		o.Classifier = core.DefaultClassifierOptions()
 	}
-	if o.MaxLateness == 0 {
-		o.MaxLateness = time.Hour
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
 
-// binKey identifies a bin by its start time.
-type binKey int64
+// Stats reports the monitor's ingestion counters and live window gauges
+// (tracked ASes, probes, resident bins and samples, evicted bins), so
+// operators can see window memory at a glance.
+type Stats = engine.Stats
 
-// probeState is one probe's sliding window of bins.
-type probeState struct {
-	bins map[binKey]*binState
-}
-
-type binState struct {
-	samples []float64
-	groups  int
-}
+// SkippedAS records why an AS with live state could not be classified,
+// so a misbehaving AS is observable instead of vanishing from the
+// report.
+type SkippedAS = core.SkippedAS
 
 // Monitor ingests traceroute results and classifies ASes online. It is
 // safe for concurrent use.
 type Monitor struct {
 	opts Options
-
-	mu     sync.Mutex
-	probes map[bgp.ASN]map[int]*probeState
-	// newest is the latest observation timestamp, driving eviction.
-	newest time.Time
-	// Ingested and Dropped count accepted and too-late results.
-	ingested, dropped int
+	eng  *engine.Engine
 }
 
 // NewMonitor creates a monitor.
 func NewMonitor(opts Options) *Monitor {
+	opts = opts.withDefaults()
 	return &Monitor{
-		opts:   opts.withDefaults(),
-		probes: make(map[bgp.ASN]map[int]*probeState),
+		opts: opts,
+		eng: engine.New(engine.Options{
+			BinWidth:       opts.BinWidth,
+			MinTraceroutes: opts.MinTraceroutes,
+			Window:         opts.Window,
+			MaxLateness:    opts.MaxLateness,
+			Shards:         opts.Shards,
+		}),
 	}
 }
 
 // Observe ingests one traceroute result for the given AS. Results without
-// a usable last-mile segment are counted but ignored; results falling too
-// far behind the newest observation are dropped.
+// a usable last-mile segment are ignored; results falling too far behind
+// the newest observation are dropped and counted.
 func (m *Monitor) Observe(asn bgp.ASN, r *traceroute.Result) error {
 	if r == nil {
 		return errors.New("stream: nil result")
@@ -104,78 +115,15 @@ func (m *Monitor) Observe(asn bgp.ASN, r *traceroute.Result) error {
 	if !ok {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if r.Timestamp.After(m.newest) {
-		m.newest = r.Timestamp
-		m.evictLocked()
-	}
-	horizon := m.newest.Add(-m.opts.Window - m.opts.MaxLateness)
-	if r.Timestamp.Before(horizon) {
-		m.dropped++
-		return nil
-	}
-	byProbe := m.probes[asn]
-	if byProbe == nil {
-		byProbe = make(map[int]*probeState)
-		m.probes[asn] = byProbe
-	}
-	ps := byProbe[r.ProbeID]
-	if ps == nil {
-		ps = &probeState{bins: make(map[binKey]*binState)}
-		byProbe[r.ProbeID] = ps
-	}
-	key := binKey(r.Timestamp.Unix() - r.Timestamp.Unix()%int64(m.opts.BinWidth/time.Second))
-	bs := ps.bins[key]
-	if bs == nil {
-		bs = &binState{}
-		ps.bins[key] = bs
-	}
-	bs.samples = append(bs.samples, samples...)
-	bs.groups++
-	m.ingested++
+	m.eng.Observe(asn, r.ProbeID, r.Timestamp, samples)
 	return nil
 }
 
-// evictLocked removes bins that slipped out of the window.
-func (m *Monitor) evictLocked() {
-	horizon := m.newest.Add(-m.opts.Window - m.opts.MaxLateness).Unix()
-	for asn, byProbe := range m.probes {
-		for id, ps := range byProbe {
-			for key := range ps.bins {
-				if int64(key) < horizon {
-					delete(ps.bins, key)
-				}
-			}
-			if len(ps.bins) == 0 {
-				delete(byProbe, id)
-			}
-		}
-		if len(byProbe) == 0 {
-			delete(m.probes, asn)
-		}
-	}
-}
-
-// Stats reports ingestion counters: accepted results and results dropped
-// for arriving beyond the lateness horizon.
-func (m *Monitor) Stats() (ingested, dropped int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.ingested, m.dropped
-}
+// Stats reports the engine's counters and live window gauges.
+func (m *Monitor) Stats() Stats { return m.eng.Stats() }
 
 // ASNs returns the ASes with live state, sorted.
-func (m *Monitor) ASNs() []bgp.ASN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]bgp.ASN, 0, len(m.probes))
-	for asn := range m.probes {
-		out = append(out, asn)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (m *Monitor) ASNs() []bgp.ASN { return m.eng.ASNs() }
 
 // Verdict is the outcome of an online classification.
 type Verdict struct {
@@ -188,83 +136,50 @@ type Verdict struct {
 }
 
 // ClassifyAS classifies one AS from the current window: the offline
-// pipeline (§2.1 + §2.3) applied to the live bins.
+// pipeline (§2.1 + §2.3) applied to the live engine shards.
 func (m *Monitor) ClassifyAS(asn bgp.ASN) (*Verdict, error) {
-	m.mu.Lock()
-	byProbe := m.probes[asn]
-	if len(byProbe) == 0 {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("stream: no state for %v", asn)
+	start, nBins, ok := m.eng.WindowBounds()
+	if !ok {
+		return nil, fmt.Errorf("stream: no observations yet for %v", asn)
 	}
-	windowEnd := m.newest.Add(m.opts.BinWidth).Truncate(m.opts.BinWidth)
-	windowStart := windowEnd.Add(-m.opts.Window)
-	nBins := int(m.opts.Window / m.opts.BinWidth)
-
-	// Snapshot per-probe median series under the lock; the heavy
-	// spectral work happens outside it.
-	var perProbe []*timeseries.Series
-	for _, ps := range byProbe {
-		s, err := timeseries.NewSeries(windowStart, m.opts.BinWidth, nBins)
-		if err != nil {
-			m.mu.Unlock()
-			return nil, err
-		}
-		usable := false
-		for key, bs := range ps.bins {
-			if bs.groups < m.opts.MinTraceroutes {
-				continue
-			}
-			t := time.Unix(int64(key), 0).UTC()
-			i, ok := s.IndexOf(t)
-			if !ok {
-				continue
-			}
-			if med, err := stats.Median(bs.samples); err == nil {
-				s.Values[i] = med
-				usable = true
-			}
-		}
-		if usable {
-			perProbe = append(perProbe, s)
-		}
-	}
-	m.mu.Unlock()
-
-	if len(perProbe) == 0 {
-		return nil, fmt.Errorf("stream: %v has no usable bins in the window", asn)
-	}
-	var qds []*timeseries.Series
-	for _, s := range perProbe {
-		qd, err := timeseries.SubtractMin(s)
-		if err != nil {
-			continue
-		}
-		qds = append(qds, qd)
-	}
-	if len(qds) == 0 {
-		return nil, fmt.Errorf("stream: %v has no probe with a finite baseline", asn)
-	}
-	signal, err := timeseries.AggregateMedian(qds)
+	signal, probes, err := m.eng.Signal(asn, start, nBins)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	cls, err := core.Classify(signal, m.opts.Classifier)
 	if err != nil {
 		return nil, fmt.Errorf("stream: %v: %w", asn, err)
 	}
-	return &Verdict{ASN: asn, Probes: len(qds), Signal: signal, Classification: cls}, nil
+	return &Verdict{ASN: asn, Probes: probes, Signal: signal, Classification: cls}, nil
 }
 
-// ClassifyAll classifies every monitored AS, skipping those whose window
-// cannot be classified yet, and returns the verdicts sorted by ASN.
-func (m *Monitor) ClassifyAll() []*Verdict {
-	var out []*Verdict
-	for _, asn := range m.ASNs() {
-		v, err := m.ClassifyAS(asn)
-		if err != nil {
-			continue
-		}
-		out = append(out, v)
+// ClassifyAll classifies every monitored AS on the monitor's worker
+// pool. Verdicts come back sorted by ASN; ASes whose window cannot be
+// classified yet are returned separately with their reasons, in ASN
+// order.
+func (m *Monitor) ClassifyAll() ([]*Verdict, []SkippedAS) {
+	asns := m.eng.ASNs()
+	type outcome struct {
+		v      *Verdict
+		reason error
 	}
-	return out
+	// ClassifyAS never returns a non-nil error through parallel.Map's
+	// error path, so the outer error is always nil.
+	outcomes, _ := parallel.Map(context.Background(), m.opts.Workers, len(asns), func(i int) (outcome, error) {
+		v, err := m.ClassifyAS(asns[i])
+		if err != nil {
+			return outcome{reason: err}, nil
+		}
+		return outcome{v: v}, nil
+	})
+	var verdicts []*Verdict
+	var skipped []SkippedAS
+	for i, o := range outcomes {
+		if o.v != nil {
+			verdicts = append(verdicts, o.v)
+		} else {
+			skipped = append(skipped, SkippedAS{ASN: asns[i], Reason: o.reason})
+		}
+	}
+	return verdicts, skipped
 }

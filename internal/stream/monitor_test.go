@@ -67,9 +67,13 @@ func TestMonitorDetectsCongestion(t *testing.T) {
 	if !v.IsDaily {
 		t.Fatal("peak should be daily")
 	}
-	ingested, dropped := m.Stats()
-	if ingested == 0 || dropped != 0 {
-		t.Fatalf("ingested=%d dropped=%d", ingested, dropped)
+	st := m.Stats()
+	if st.Ingested == 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Live gauges must reflect the resident window.
+	if st.ASes != 1 || st.Probes != 4 || st.Bins == 0 || st.Samples == 0 {
+		t.Fatalf("gauges = %+v", st)
 	}
 }
 
@@ -127,9 +131,8 @@ func TestMonitorDropsTooLate(t *testing.T) {
 	m.Observe(1, mkTrace(1, t0.AddDate(0, 0, 10), 2))
 	// A result 10 days behind the newest observation must be dropped.
 	m.Observe(1, mkTrace(1, t0, 2))
-	_, dropped := m.Stats()
-	if dropped != 1 {
-		t.Fatalf("dropped = %d, want 1", dropped)
+	if st := m.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
 	}
 }
 
@@ -140,9 +143,8 @@ func TestMonitorIgnoresUnusableTraceroutes(t *testing.T) {
 	if err := m.Observe(1, r); err != nil {
 		t.Fatal(err)
 	}
-	ingested, _ := m.Stats()
-	if ingested != 0 {
-		t.Fatalf("ingested = %d, want 0", ingested)
+	if st := m.Stats(); st.Ingested != 0 {
+		t.Fatalf("ingested = %d, want 0", st.Ingested)
 	}
 	if err := m.Observe(1, nil); err == nil {
 		t.Fatal("nil result must error")
@@ -173,11 +175,18 @@ func TestMonitorClassifyAll(t *testing.T) {
 	m := NewMonitor(Options{Window: 8 * 24 * time.Hour})
 	feedDiurnal(t, m, 100, 3, 8, 5)
 	feedDiurnal(t, m, 200, 3, 8, 0)
+	// AS 300 never clears the min-traceroutes bar: it must surface in
+	// the skipped list with a reason instead of silently vanishing.
+	for ts := t0; ts.Before(t0.AddDate(0, 0, 8)); ts = ts.Add(30 * time.Minute) {
+		if err := m.Observe(300, mkTrace(7, ts, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	asns := m.ASNs()
-	if len(asns) != 2 || asns[0] != 100 || asns[1] != 200 {
+	if len(asns) != 3 || asns[0] != 100 || asns[1] != 200 || asns[2] != 300 {
 		t.Fatalf("asns = %v", asns)
 	}
-	verdicts := m.ClassifyAll()
+	verdicts, skipped := m.ClassifyAll()
 	if len(verdicts) != 2 {
 		t.Fatalf("verdicts = %d", len(verdicts))
 	}
@@ -187,6 +196,9 @@ func TestMonitorClassifyAll(t *testing.T) {
 	// Signals cover the window with real data.
 	if verdicts[0].Signal.GapCount() > verdicts[0].Signal.Len()/2 {
 		t.Fatal("signal mostly gaps")
+	}
+	if len(skipped) != 1 || skipped[0].ASN != 300 || skipped[0].Reason == nil {
+		t.Fatalf("skipped = %+v", skipped)
 	}
 }
 
@@ -205,9 +217,8 @@ func TestMonitorConcurrentObserve(t *testing.T) {
 	for g := 0; g < 4; g++ {
 		<-done
 	}
-	ingested, _ := m.Stats()
-	if ingested != 2000 {
-		t.Fatalf("ingested = %d, want 2000", ingested)
+	if st := m.Stats(); st.Ingested != 2000 {
+		t.Fatalf("ingested = %d, want 2000", st.Ingested)
 	}
 }
 
@@ -274,8 +285,8 @@ func TestMonitorConcurrentReadersAndWriters(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	ingested, dropped := m.Stats()
-	if want := writers*perGoroutine + 3*24*6*2; ingested+dropped < want {
-		t.Fatalf("ingested+dropped = %d, want >= %d", ingested+dropped, want)
+	st := m.Stats()
+	if want := int64(writers*perGoroutine + 3*24*6*2); st.Ingested+st.Dropped < want {
+		t.Fatalf("ingested+dropped = %d, want >= %d", st.Ingested+st.Dropped, want)
 	}
 }

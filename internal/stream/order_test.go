@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// timedResult is one attributed observation in the generated schedule.
+type timedResult struct {
+	asn bgp.ASN
+	r   *traceroute.Result
+}
+
+// diurnalSchedule builds a time-sorted stream of traceroutes for several
+// ASes with distinct diurnal bumps.
+func diurnalSchedule(days int) []timedResult {
+	var out []timedResult
+	end := t0.AddDate(0, 0, days)
+	for ts := t0; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+		for ai, bump := range []float64{5, 1.5, 0} {
+			delta := 2.0
+			if h := ts.Hour(); h >= 12 && h < 18 {
+				delta += bump
+			}
+			for p := 1; p <= 3; p++ {
+				out = append(out, timedResult{asn: bgp.ASN(100 + ai), r: mkTrace(ai*10+p, ts, delta)})
+			}
+		}
+	}
+	return out
+}
+
+// permuteWithin shuffles the schedule so that no element is displaced by
+// more than maxLateness of stream time: elements are shuffled freely
+// inside consecutive chunks of maxLateness/2, which bounds the timestamp
+// regression any element can see to under maxLateness.
+func permuteWithin(sorted []timedResult, maxLateness time.Duration, rng *rand.Rand) []timedResult {
+	out := make([]timedResult, len(sorted))
+	copy(out, sorted)
+	chunk := maxLateness / 2
+	lo := 0
+	for lo < len(out) {
+		hi := lo
+		limit := out[lo].r.Timestamp.Add(chunk)
+		for hi < len(out) && out[hi].r.Timestamp.Before(limit) {
+			hi++
+		}
+		rng.Shuffle(hi-lo, func(i, j int) {
+			out[lo+i], out[lo+j] = out[lo+j], out[lo+i]
+		})
+		lo = hi
+	}
+	return out
+}
+
+func classifyOrdered(t *testing.T, feed []timedResult, opts Options) ([]*Verdict, []SkippedAS) {
+	t.Helper()
+	m := NewMonitor(opts)
+	for _, tr := range feed {
+		if err := m.Observe(tr.asn, tr.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Dropped != 0 {
+		t.Fatalf("permuted-within-lateness feed dropped %d results", st.Dropped)
+	}
+	return m.ClassifyAll()
+}
+
+// TestMonitorOutOfOrderPermutationInvariance is the out-of-order
+// ingestion contract: any permutation of arrivals in which elements move
+// by less than MaxLateness yields bit-for-bit identical verdicts,
+// because per-bin incremental medians are permutation-invariant and
+// eviction never removes bins that still fall inside the analysis
+// window.
+func TestMonitorOutOfOrderPermutationInvariance(t *testing.T) {
+	opts := Options{Window: 5 * 24 * time.Hour, MaxLateness: time.Hour}
+	sorted := diurnalSchedule(6)
+	want, wantSkipped := classifyOrdered(t, sorted, opts)
+	if len(want) == 0 {
+		t.Fatal("baseline produced no verdicts")
+	}
+	if len(wantSkipped) != 0 {
+		t.Fatalf("baseline skipped %v", wantSkipped)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		got, gotSkipped := classifyOrdered(t, permuteWithin(sorted, opts.MaxLateness, rng), opts)
+		if len(got) != len(want) || len(gotSkipped) != 0 {
+			t.Fatalf("trial %d: %d verdicts (%d skipped), want %d (0)", trial, len(got), len(gotSkipped), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if g.ASN != w.ASN || g.Probes != w.Probes || g.Class != w.Class || g.IsDaily != w.IsDaily {
+				t.Fatalf("trial %d: verdict %d differs: {%v,%d,%v} vs {%v,%d,%v}",
+					trial, i, g.ASN, g.Probes, g.Class, w.ASN, w.Probes, w.Class)
+			}
+			if math.Float64bits(g.DailyAmplitude) != math.Float64bits(w.DailyAmplitude) {
+				t.Fatalf("trial %d: %v amplitude %v vs %v", trial, w.ASN, g.DailyAmplitude, w.DailyAmplitude)
+			}
+			if g.Signal.Len() != w.Signal.Len() || !g.Signal.Start.Equal(w.Signal.Start) {
+				t.Fatalf("trial %d: %v signal axis differs", trial, w.ASN)
+			}
+			for j := range w.Signal.Values {
+				if math.Float64bits(g.Signal.Values[j]) != math.Float64bits(w.Signal.Values[j]) {
+					t.Fatalf("trial %d: %v signal[%d] = %v, want %v",
+						trial, w.ASN, j, g.Signal.Values[j], w.Signal.Values[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorBeyondHorizonDropped pins the other half of the lateness
+// contract: results displaced past Window+MaxLateness are dropped and
+// counted as such, without disturbing resident state.
+func TestMonitorBeyondHorizonDropped(t *testing.T) {
+	opts := Options{Window: 2 * 24 * time.Hour, MaxLateness: time.Hour}
+	m := NewMonitor(opts)
+	if err := m.Observe(1, mkTrace(1, t0.AddDate(0, 0, 5), 2)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	// 5 days behind the newest observation: beyond the 2d+1h horizon.
+	if err := m.Observe(1, mkTrace(1, t0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	if st.Ingested != before.Ingested || st.Bins != before.Bins || st.Samples != before.Samples {
+		t.Fatalf("resident state disturbed: %+v vs %+v", st, before)
+	}
+}

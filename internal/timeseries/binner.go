@@ -3,21 +3,19 @@ package timeseries
 import (
 	"errors"
 	"time"
-
-	"github.com/last-mile-congestion/lastmile/internal/stats"
 )
 
 // MedianBinner accumulates raw (time, value) samples into fixed-width bins
 // and produces the per-bin median as a Series. The last-mile pipeline
 // feeds it the 216 pairwise RTT samples each probe produces per 30-minute
-// window (§2.1) and reads back a median-RTT series.
+// window (§2.1) and reads back a median-RTT series. Bins are
+// IncrementalBin cells, so medians are maintained incrementally with the
+// exact same arithmetic as the streaming engine — the batch result is a
+// replay of the incremental one.
 type MedianBinner struct {
 	start time.Time
 	step  time.Duration
-	bins  [][]float64
-	// groups counts distinct groups (traceroutes) per bin, driven by
-	// AddGroup; the paper discards bins with fewer than 3 traceroutes.
-	groups []int
+	bins  []IncrementalBin
 }
 
 // NewMedianBinner creates a binner covering [start, end) with the given
@@ -34,10 +32,9 @@ func NewMedianBinner(start, end time.Time, step time.Duration) (*MedianBinner, e
 		n++
 	}
 	return &MedianBinner{
-		start:  start,
-		step:   step,
-		bins:   make([][]float64, n),
-		groups: make([]int, n),
+		start: start,
+		step:  step,
+		bins:  make([]IncrementalBin, n),
 	}, nil
 }
 
@@ -58,7 +55,7 @@ func (b *MedianBinner) indexOf(t time.Time) int {
 // traceroutes past the period boundary and those are not errors.
 func (b *MedianBinner) Add(t time.Time, v float64) {
 	if i := b.indexOf(t); i >= 0 {
-		b.bins[i] = append(b.bins[i], v)
+		b.bins[i].Add(v)
 	}
 }
 
@@ -66,19 +63,16 @@ func (b *MedianBinner) Add(t time.Time, v float64) {
 // (one traceroute) at time t, incrementing the bin's group count used by
 // the minimum-traceroutes sanity check.
 func (b *MedianBinner) AddGroup(t time.Time, vs []float64) {
-	i := b.indexOf(t)
-	if i < 0 {
-		return
+	if i := b.indexOf(t); i >= 0 {
+		b.bins[i].AddGroup(vs)
 	}
-	b.bins[i] = append(b.bins[i], vs...)
-	b.groups[i]++
 }
 
 // SampleCount returns the number of raw samples in bin i.
-func (b *MedianBinner) SampleCount(i int) int { return len(b.bins[i]) }
+func (b *MedianBinner) SampleCount(i int) int { return b.bins[i].Len() }
 
 // GroupCount returns the number of groups (traceroutes) recorded in bin i.
-func (b *MedianBinner) GroupCount(i int) int { return b.groups[i] }
+func (b *MedianBinner) GroupCount(i int) int { return b.bins[i].Groups() }
 
 // Bins returns the number of bins.
 func (b *MedianBinner) Bins() int { return len(b.bins) }
@@ -93,11 +87,11 @@ func (b *MedianBinner) Series(minGroups int) *Series {
 		// Construction parameters were validated by NewMedianBinner.
 		panic("timeseries: invalid binner state: " + err.Error())
 	}
-	for i, samples := range b.bins {
-		if len(samples) == 0 || b.groups[i] < minGroups {
+	for i := range b.bins {
+		if b.bins[i].Groups() < minGroups {
 			continue
 		}
-		if m, err := stats.Median(samples); err == nil {
+		if m, ok := b.bins[i].Median(); ok {
 			out.Values[i] = m
 		}
 	}
@@ -111,8 +105,8 @@ func (b *MedianBinner) CountSeries() *Series {
 	if err != nil {
 		panic("timeseries: invalid binner state: " + err.Error())
 	}
-	for i, g := range b.groups {
-		out.Values[i] = float64(g)
+	for i := range b.bins {
+		out.Values[i] = float64(b.bins[i].Groups())
 	}
 	return out
 }

@@ -1,0 +1,118 @@
+package timeseries
+
+import "github.com/last-mile-congestion/lastmile/internal/stats"
+
+// IncrementalBin accumulates the raw last-mile samples of one (probe,
+// bin) cell and maintains their exact median incrementally: a max-heap
+// of the lower half and a min-heap of the upper half (the classic
+// two-heap order statistic), rebalanced on every insert so the median
+// is O(1) to read and O(log n) to update.
+//
+// The median is bit-for-bit identical to stats.Median over the same
+// multiset: order statistics are permutation-invariant, and the
+// even-count case combines the two middle elements with the shared
+// stats.Midpoint arithmetic. That identity is what lets the streaming
+// monitor and the batch pipeline share one binning engine — a batch run
+// is literally a replay of the incremental one.
+//
+// Samples must be finite: NaN fails every ordering comparison and would
+// corrupt the heap invariant. The last-mile estimator only emits finite
+// values (it drops NaN/Inf/non-positive RTTs before differencing).
+type IncrementalBin struct {
+	// lo is a max-heap of the lower half, hi a min-heap of the upper
+	// half; len(lo) == len(hi) or len(lo) == len(hi)+1.
+	lo, hi []float64
+	// groups counts distinct measurement groups (traceroutes), the unit
+	// of the paper's "fewer than 3 traceroutes" discard rule.
+	groups int
+}
+
+// Add inserts one sample.
+func (b *IncrementalBin) Add(v float64) {
+	if len(b.lo) == 0 || v <= b.lo[0] {
+		b.lo = heapPush(b.lo, v, lessMax)
+	} else {
+		b.hi = heapPush(b.hi, v, lessMin)
+	}
+	// Rebalance so the halves differ by at most one, lower half larger.
+	if len(b.lo) > len(b.hi)+1 {
+		var top float64
+		b.lo, top = heapPop(b.lo, lessMax)
+		b.hi = heapPush(b.hi, top, lessMin)
+	} else if len(b.hi) > len(b.lo) {
+		var top float64
+		b.hi, top = heapPop(b.hi, lessMin)
+		b.lo = heapPush(b.lo, top, lessMax)
+	}
+}
+
+// AddGroup inserts one measurement group (one traceroute's samples) and
+// increments the group count.
+func (b *IncrementalBin) AddGroup(vs []float64) {
+	for _, v := range vs {
+		b.Add(v)
+	}
+	b.groups++
+}
+
+// Len returns the number of samples.
+func (b *IncrementalBin) Len() int { return len(b.lo) + len(b.hi) }
+
+// Groups returns the number of measurement groups recorded via AddGroup.
+func (b *IncrementalBin) Groups() int { return b.groups }
+
+// Median returns the current exact median; ok is false for an empty bin.
+func (b *IncrementalBin) Median() (v float64, ok bool) {
+	switch {
+	case len(b.lo) == 0:
+		return 0, false
+	case len(b.lo) > len(b.hi):
+		return b.lo[0], true
+	default:
+		return stats.Midpoint(b.lo[0], b.hi[0]), true
+	}
+}
+
+// lessMax orders a max-heap (parent >= children), lessMin a min-heap.
+func lessMax(a, b float64) bool { return a > b }
+func lessMin(a, b float64) bool { return a < b }
+
+// heapPush appends v and sifts it up under the given ordering.
+func heapPush(h []float64, v float64, less func(a, b float64) bool) []float64 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes and returns the root under the given ordering.
+func heapPop(h []float64, less func(a, b float64) bool) ([]float64, float64) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && less(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && less(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return h, top
+}

@@ -1,0 +1,102 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/last-mile-congestion/lastmile/internal/stats"
+)
+
+// Property: the incremental two-heap median is bit-for-bit identical to
+// the sort/selection-based stats.Median over the same multiset, for any
+// finite sample set — the identity the batch=replay guarantee rests on.
+func TestIncrementalBinMatchesStatsMedian(t *testing.T) {
+	f := func(raw []float64) bool {
+		var b IncrementalBin
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(v, 1e6) // physical delay range, like the pipeline
+			vals = append(vals, v)
+			b.Add(v)
+		}
+		got, ok := b.Median()
+		want, err := stats.Median(vals)
+		if err != nil {
+			return !ok && b.Len() == 0
+		}
+		return ok && math.Float64bits(got) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the incremental median is permutation-invariant — the
+// foundation of the out-of-order ingestion guarantee.
+func TestIncrementalBinPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 257)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 10
+	}
+	var ref IncrementalBin
+	for _, v := range vals {
+		ref.Add(v)
+	}
+	want, _ := ref.Median()
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(vals))
+		var b IncrementalBin
+		for _, i := range perm {
+			b.Add(vals[i])
+		}
+		got, ok := b.Median()
+		if !ok || math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: median %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestIncrementalBinRunningMedian(t *testing.T) {
+	// Every prefix of the stream must report the prefix's exact median.
+	stream := []float64{5, 1, 9, 3, 3, -2, 7, 0}
+	var b IncrementalBin
+	for i, v := range stream {
+		b.Add(v)
+		got, ok := b.Median()
+		if !ok {
+			t.Fatalf("prefix %d: no median", i+1)
+		}
+		want, err := stats.Median(stream[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("prefix %d: median %v, want %v", i+1, got, want)
+		}
+	}
+	if b.Len() != len(stream) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(stream))
+	}
+}
+
+func TestIncrementalBinGroups(t *testing.T) {
+	var b IncrementalBin
+	if _, ok := b.Median(); ok {
+		t.Fatal("empty bin must not report a median")
+	}
+	b.AddGroup([]float64{1, 2, 3})
+	b.AddGroup([]float64{4})
+	b.AddGroup(nil) // a group with no samples still counts as a group
+	if b.Groups() != 3 {
+		t.Fatalf("Groups = %d, want 3", b.Groups())
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+}

@@ -205,6 +205,30 @@ func NewSurvey(period string) *Survey { return core.NewSurvey(period) }
 // ASResult is one AS's outcome in one period.
 type ASResult = core.ASResult
 
+// AttributedResult pairs a traceroute result with its origin AS for a
+// batch survey.
+type AttributedResult = core.AttributedResult
+
+// SurveyOptions configures RunSurvey.
+type SurveyOptions = core.SurveyOptions
+
+// SkippedAS records why an AS present in the input could not be
+// classified, so no AS silently vanishes from a report.
+type SkippedAS = core.SkippedAS
+
+// ErrNoUsableData is the skip reason for an AS none of whose
+// traceroutes carried a usable last-mile segment.
+var ErrNoUsableData = core.ErrNoUsableData
+
+// RunSurvey runs the batch pipeline over a completed measurement
+// period: it replays the attributed traceroutes through the shared
+// incremental delay engine and classifies every AS, returning the
+// survey plus the skip reason for each unclassifiable AS. Zero
+// Start/End derive the period from the observed timestamps.
+func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*Survey, []SkippedAS, error) {
+	return core.RunSurvey(period, results, opts)
+}
+
 // ASN is an autonomous system number.
 type ASN = bgp.ASN
 
@@ -332,6 +356,11 @@ type StreamMonitor = stream.Monitor
 
 // StreamVerdict is one AS's online classification.
 type StreamVerdict = stream.Verdict
+
+// StreamStats reports a monitor's ingestion counters and live window
+// gauges (tracked ASes, probes, resident bins and samples, evicted
+// bins).
+type StreamStats = stream.Stats
 
 // NewStreamMonitor creates a streaming monitor.
 func NewStreamMonitor(opts StreamOptions) *StreamMonitor { return stream.NewMonitor(opts) }

@@ -308,12 +308,41 @@ func TestStreamMonitorPublicAPI(t *testing.T) {
 			}
 		}
 	}
-	verdicts := m.ClassifyAll()
-	if len(verdicts) != 1 {
-		t.Fatalf("verdicts = %d", len(verdicts))
+	verdicts, skipped := m.ClassifyAll()
+	if len(verdicts) != 1 || len(skipped) != 0 {
+		t.Fatalf("verdicts = %d, skipped = %d", len(verdicts), len(skipped))
 	}
 	if verdicts[0].Class != lastmile.Severe {
 		t.Fatalf("class = %v (amp %.2f), want Severe", verdicts[0].Class, verdicts[0].DailyAmplitude)
+	}
+	var st lastmile.StreamStats = m.Stats()
+	if st.Ingested == 0 || st.ASes != 1 || st.Probes != 3 || st.Bins == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunSurveyPublicAPI(t *testing.T) {
+	var results []lastmile.AttributedResult
+	end := t0.AddDate(0, 0, 8)
+	for ts := t0; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+		delta := 2.0
+		if h := ts.Hour(); h >= 10 && h < 16 {
+			delta += 4.0
+		}
+		for p := 1; p <= 3; p++ {
+			results = append(results, lastmile.AttributedResult{ASN: 64500, Result: buildTrace(p, ts, delta)})
+		}
+	}
+	survey, skipped, err := lastmile.RunSurvey("2019-09", results, lastmile.SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	res := survey.Results[64500]
+	if res == nil || res.Class != lastmile.Severe || res.Probes != 3 {
+		t.Fatalf("result = %+v", res)
 	}
 }
 

@@ -17,7 +17,11 @@
 # The worker-count sub-benchmarks (BenchmarkSurveys/workers=N,
 # BenchmarkTokyo/workers=N) compare the serial baseline against the
 # pooled run; on a multi-core machine the pooled rows should scale with
-# physical parallelism, while allocs/op stays flat across widths.
+# physical parallelism, while allocs/op stays flat across widths. The
+# shard-count sub-benchmarks (BenchmarkMonitorObserve/shards=N) compare
+# single-stripe against striped ingestion into the streaming engine —
+# the shards=8 row should beat shards=1 under concurrent load while
+# allocs/op stays flat.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -28,6 +28,14 @@ go test -race -count=1 ./internal/parallel/
 go test -race -count=1 -run 'TestRunSurveyParallelMatchesSerial' ./internal/scenario/
 go test -race -count=1 -run 'WorkerEquivalence' ./internal/experiments/
 
+# The unified engine's determinism contract: batch surveys are a replay
+# of the streaming engine, bit for bit, at every shard and worker count,
+# and out-of-order ingestion within MaxLateness changes nothing.
+echo "==> go test -race -count=1 (engine equivalence)"
+go test -race -count=1 ./internal/engine/
+go test -race -count=1 -run 'ReplayEquivalence' ./internal/experiments/
+go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal/stream/
+
 # Benchmark smoke: every bench must still run one iteration cleanly.
 echo "==> go test -bench (smoke, 1 iteration)"
 go test -run '^$' -bench . -benchtime 1x .
