@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	lastmile "github.com/last-mile-congestion/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/experiments"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		loadDir = flag.String("load", "", "directory to load persisted survey JSON from (skips the measurement step)")
 		csvDir  = flag.String("csv", "", "directory to dump the selected figure's data series as CSV")
 		workers = flag.Int("workers", 0, "worker goroutines for the survey/simulation fan-out (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
+		metrics = flag.String("metrics", "", "write an end-of-run telemetry snapshot (Prometheus text) to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,15 @@ func main() {
 		TraceroutesPerBin: *perBin,
 		Workers:           *workers,
 	}
-	if err := run(o, *fig, *table, *all, *saveDir, *loadDir, *csvDir); err != nil {
+	err := run(o, *fig, *table, *all, *saveDir, *loadDir, *csvDir)
+	if *metrics != "" {
+		// The process-wide registry carries the dsp cache and worker-pool
+		// series accumulated across whatever the run exercised.
+		if derr := lastmile.DefaultMetrics().DumpFile(*metrics); derr != nil {
+			fmt.Fprintln(os.Stderr, "lmexp: metrics dump:", derr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lmexp:", err)
 		os.Exit(1)
 	}

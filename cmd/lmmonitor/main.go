@@ -5,14 +5,22 @@
 // cadence of stream time — the operational mode of a continuously-running
 // last-mile monitor.
 //
+// With -http the monitor also serves an ops endpoint: /metrics
+// (Prometheus text), /metrics.json, and /debug/pprof, backed by the
+// process-wide telemetry registry the engine and monitor instrument.
+// With -metrics a final Prometheus-text snapshot is written at exit.
+//
 // On SIGINT or SIGTERM the monitor flushes a final classification report
 // and its ingestion statistics before exiting instead of dying
-// mid-stream.
+// mid-stream. All report output is serialised through one writer, so the
+// signal-driven flush can never interleave with a scheduled report; if
+// the main loop is stuck mid-ingest, a watchdog forces the flush after a
+// grace period.
 //
 // Usage:
 //
 //	atlasgen -isp A -days 8 | lmmonitor -every 48h
-//	lmmonitor -in traces.jsonl -rib rib.txt -window 120h -shards 8
+//	lmmonitor -in traces.jsonl -rib rib.txt -window 120h -shards 8 -http :9090
 package main
 
 import (
@@ -20,9 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -30,62 +42,215 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/report"
 	"github.com/last-mile-congestion/lastmile/internal/stream"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 )
+
+// flushGrace is how long the SIGINT watchdog waits for the main loop to
+// produce the final report before forcing the flush itself.
+const flushGrace = 2 * time.Second
 
 func main() {
 	var (
-		in      = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
-		ribIn   = flag.String("rib", "", "optional RIB file for probe->AS mapping")
-		window  = flag.Duration("window", 15*24*time.Hour, "sliding analysis window")
-		every   = flag.Duration("every", 24*time.Hour, "stream-time interval between classification reports")
-		sortIn  = flag.Bool("sort", true, "sort input by timestamp before feeding the monitor (file dumps are grouped by measurement, not time; disable for genuinely ordered streams)")
-		shards  = flag.Int("shards", 0, "engine lock stripes for concurrent ingestion (0 = GOMAXPROCS; verdicts are identical at any count)")
-		workers = flag.Int("workers", 0, "worker goroutines for classification reports (0 = GOMAXPROCS; output is identical at any count)")
+		in       = flag.String("in", "-", "traceroute JSONL input (- for stdin)")
+		ribIn    = flag.String("rib", "", "optional RIB file for probe->AS mapping")
+		window   = flag.Duration("window", 15*24*time.Hour, "sliding analysis window")
+		every    = flag.Duration("every", 24*time.Hour, "stream-time interval between classification reports")
+		sortIn   = flag.Bool("sort", true, "sort input by timestamp before feeding the monitor (file dumps are grouped by measurement, not time; disable for genuinely ordered streams)")
+		shards   = flag.Int("shards", 0, "engine lock stripes for concurrent ingestion (0 = GOMAXPROCS; verdicts are identical at any count)")
+		workers  = flag.Int("workers", 0, "worker goroutines for classification reports (0 = GOMAXPROCS; output is identical at any count)")
+		httpAddr = flag.String("http", "", "ops endpoint address (e.g. :9090) serving /metrics, /metrics.json, and /debug/pprof")
+		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file at exit (- for stdout)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *window, *every, *sortIn, *shards, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "lmmonitor:", err)
-		os.Exit(1)
-	}
-}
 
-func run(in, ribIn string, window, every time.Duration, sortIn bool, shards, workers int) error {
-	var r io.Reader = os.Stdin
-	if in != "-" {
-		f, err := os.Open(in)
+	reg := telemetry.Default()
+	if *httpAddr != "" {
+		srv, err := serveOps(*httpAddr, reg)
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+			os.Exit(1)
+		}
+		defer ioutil.CloseQuiet(srv)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+			os.Exit(1)
 		}
 		defer ioutil.CloseQuiet(f)
 		r = f
 	}
 	var rib *lastmile.RIB
-	if ribIn != "" {
-		f, err := os.Open(ribIn)
+	if *ribIn != "" {
+		parsed, err := loadRIB(*ribIn)
 		if err != nil {
-			return err
-		}
-		parsed, err := lastmile.ParseRIB(f)
-		ioutil.CloseQuiet(f)
-		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+			os.Exit(1)
 		}
 		rib = parsed
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
-	monitor := stream.NewMonitor(stream.Options{Window: window, Shards: shards, Workers: workers})
+	cfg := config{
+		rib:     rib,
+		window:  *window,
+		every:   *every,
+		sortIn:  *sortIn,
+		shards:  *shards,
+		workers: *workers,
+		metrics: reg,
+		grace:   flushGrace,
+		exit:    os.Exit,
+	}
+	err := run(ctx, cfg, r, &printer{w: os.Stdout})
+	if *metrics != "" {
+		if derr := reg.DumpFile(*metrics); err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+// loadRIB parses a RIB file for probe->AS attribution.
+func loadRIB(path string) (*lastmile.RIB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := lastmile.ParseRIB(f)
+	ioutil.CloseQuiet(f)
+	if err != nil {
+		return nil, err
+	}
+	return parsed, nil
+}
+
+// serveOps starts the ops endpoint: Prometheus text and JSON metric
+// exposition plus the pprof profile handlers. The returned closer shuts
+// the listener down.
+func serveOps(addr string, reg *telemetry.Registry) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "lmmonitor: ops endpoint on http://%s (/metrics, /metrics.json, /debug/pprof)\n", ln.Addr())
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lmmonitor: ops endpoint:", serr)
+		}
+	}()
+	return srv, nil
+}
+
+// printer serialises all monitor output through one mutex-guarded
+// writer, so the signal-driven final flush can never interleave with a
+// scheduled report mid-table on shared stdout (the regression
+// TestPrinterSerialises pins this).
+type printer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Printf writes one formatted fragment atomically.
+func (p *printer) Printf(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format, args...)
+}
+
+// Block runs fn against the locked writer, so a multi-line block (a
+// stats header plus a rendered table) is emitted as one unit.
+func (p *printer) Block(fn func(io.Writer) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fn(p.w)
+}
+
+// config carries run's knobs; main fills it from flags, tests directly.
+type config struct {
+	rib             *lastmile.RIB
+	window, every   time.Duration
+	sortIn          bool
+	shards, workers int
+	metrics         *telemetry.Registry
+	// grace is the watchdog's wait before it forces the final flush; exit
+	// is called if the main loop still has not finished by then.
+	grace time.Duration
+	exit  func(int)
+}
+
+func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
+	monitor := stream.NewMonitor(stream.Options{
+		Window:  cfg.window,
+		Shards:  cfg.shards,
+		Workers: cfg.workers,
+		Metrics: cfg.metrics,
+	})
 	feed := func(res *lastmile.Result) error {
 		asn := lastmile.ASN(0)
-		if rib != nil && res.FromAddr.IsValid() {
-			if origin, err := rib.OriginOf(res.FromAddr); err == nil {
+		if cfg.rib != nil && res.FromAddr.IsValid() {
+			if origin, err := cfg.rib.OriginOf(res.FromAddr); err == nil {
 				asn = origin
 			}
 		}
 		return monitor.Observe(asn, res)
 	}
+
+	// The final flush runs exactly once no matter who triggers it — the
+	// end-of-stream path, the interrupt path, or the watchdog.
+	var flushOnce sync.Once
+	finalFlush := func(header string) error {
+		var err error
+		flushOnce.Do(func() {
+			err = out.Block(func(w io.Writer) error {
+				fmt.Fprintf(w, "\n%s; final state:\n", header)
+				writeStats(monitor, w)
+				return writeReport(monitor, w, time.Time{})
+			})
+		})
+		return err
+	}
+
+	// Watchdog: if a signal arrives and the main loop does not complete
+	// the final flush within the grace period (stuck mid-ingest on a slow
+	// or hostile input), force the flush and exit. done is closed when
+	// run returns, retiring the watchdog.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		select {
+		case <-done:
+		case <-time.After(cfg.grace):
+			if err := finalFlush("interrupted (forced flush)"); err != nil {
+				fmt.Fprintln(os.Stderr, "lmmonitor:", err)
+			}
+			if cfg.exit != nil {
+				cfg.exit(130)
+			}
+		}
+	}()
 
 	var nextReport time.Time
 	process := func(res *lastmile.Result) error {
@@ -93,14 +258,14 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool, shards, wor
 			return err
 		}
 		if nextReport.IsZero() {
-			nextReport = res.Timestamp.Add(every)
+			nextReport = res.Timestamp.Add(cfg.every)
 			return nil
 		}
 		if !res.Timestamp.Before(nextReport) {
-			if err := printReport(monitor, res.Timestamp); err != nil {
+			if err := printReport(monitor, out, res.Timestamp); err != nil {
 				return err
 			}
-			nextReport = res.Timestamp.Add(every)
+			nextReport = res.Timestamp.Add(cfg.every)
 		}
 		return nil
 	}
@@ -113,7 +278,7 @@ func run(in, ribIn string, window, every time.Duration, sortIn bool, shards, wor
 	go func() {
 		defer close(results)
 		sc := lastmile.NewResultScanner(r)
-		if sortIn {
+		if cfg.sortIn {
 			var buffered []*lastmile.Result
 			for sc.Scan() {
 				buffered = append(buffered, sc.Result())
@@ -164,30 +329,37 @@ loop:
 	}
 
 	if interrupted {
-		fmt.Printf("\ninterrupted; final state:\n")
-	} else {
-		fmt.Printf("\nend of stream; final state:\n")
+		return finalFlush("interrupted")
 	}
-	printStats(monitor)
-	return printReport(monitor, time.Time{})
+	return finalFlush("end of stream")
 }
 
-// printStats renders the ingestion counters and live window gauges so
-// operators can see what the window holds in memory.
-func printStats(m *stream.Monitor) {
+// writeStats renders the ingestion counters and live window gauges so
+// operators can see what the window holds in memory. The caller holds
+// the printer lock.
+func writeStats(m *stream.Monitor, w io.Writer) {
 	st := m.Stats()
-	fmt.Printf("ingested %d, dropped %d (too late), window: %d AS(es), %d probe(s), %d bin(s), %d sample(s), %d bin(s) evicted\n",
+	fmt.Fprintf(w, "ingested %d, dropped %d (too late), window: %d AS(es), %d probe(s), %d bin(s), %d sample(s), %d bin(s) evicted\n",
 		st.Ingested, st.Dropped, st.ASes, st.Probes, st.Bins, st.Samples, st.EvictedBins)
 }
 
-func printReport(m *stream.Monitor, at time.Time) error {
+// printReport classifies and renders one scheduled report atomically.
+func printReport(m *stream.Monitor, out *printer, at time.Time) error {
+	return out.Block(func(w io.Writer) error {
+		return writeReport(m, w, at)
+	})
+}
+
+// writeReport renders one classification report to w; the caller holds
+// the printer lock.
+func writeReport(m *stream.Monitor, w io.Writer, at time.Time) error {
 	if !at.IsZero() {
-		fmt.Printf("\n== %s ==\n", at.UTC().Format(time.RFC3339))
-		printStats(m)
+		fmt.Fprintf(w, "\n== %s ==\n", at.UTC().Format(time.RFC3339))
+		writeStats(m, w)
 	}
 	verdicts, skipped := m.ClassifyAll()
 	if len(verdicts) == 0 && len(skipped) == 0 {
-		fmt.Println("(no classifiable AS yet — windows warming up)")
+		fmt.Fprintln(w, "(no classifiable AS yet — windows warming up)")
 		return nil
 	}
 	if len(verdicts) > 0 {
@@ -197,12 +369,12 @@ func printReport(m *stream.Monitor, at time.Time) error {
 				fmt.Sprintf("%.2f", v.DailyAmplitude),
 				report.Sparkline(report.Downsample(v.Signal.Values, 48), 0))
 		}
-		if err := tb.Render(os.Stdout); err != nil {
+		if err := tb.Render(w); err != nil {
 			return err
 		}
 	}
 	for _, s := range skipped {
-		fmt.Printf("skipped %s: %v\n", s.ASN, s.Reason)
+		fmt.Fprintf(w, "skipped %s: %v\n", s.ASN, s.Reason)
 	}
 	return nil
 }

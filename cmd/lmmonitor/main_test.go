@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// TestPrinterSerialises is the regression test for the SIGINT flush
+// race: multi-line blocks written through one printer must come out
+// contiguous even when other goroutines print concurrently.
+func TestPrinterSerialises(t *testing.T) {
+	var buf bytes.Buffer
+	p := &printer{w: &buf}
+	const writers = 8
+	const blocks = 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < blocks; b++ {
+				if b%2 == 0 {
+					if err := p.Block(func(w io.Writer) error {
+						for line := 0; line < 3; line++ {
+							fmt.Fprintf(w, "block g%d b%d line%d\n", g, b, line)
+						}
+						return nil
+					}); err != nil {
+						t.Error(err)
+					}
+					continue
+				}
+				p.Printf("single g%d b%d\n", g, b)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every 3-line block must appear as three consecutive output lines.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for i, line := range lines {
+		if !strings.HasSuffix(line, "line0") {
+			continue
+		}
+		prefix := strings.TrimSuffix(line, "line0")
+		if i+2 >= len(lines) || lines[i+1] != prefix+"line1" || lines[i+2] != prefix+"line2" {
+			t.Fatalf("block starting at line %d interleaved:\n%s\n%s\n%s",
+				i, lines[i], lines[i+1], lines[i+2])
+		}
+	}
+}
+
+var testT0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// mkTrace builds a 2-hop traceroute with the given last-mile delta.
+func mkTrace(probeID int, ts time.Time, deltaMs float64) *traceroute.Result {
+	priv := netip.MustParseAddr("192.168.1.1")
+	pub := netip.MustParseAddr("203.0.113.1")
+	r := &traceroute.Result{
+		ProbeID: probeID, MsmID: 5004, Timestamp: ts, AF: 4,
+		SrcAddr: netip.MustParseAddr("192.168.1.10"),
+		DstAddr: netip.MustParseAddr("198.41.0.4"),
+	}
+	h1 := traceroute.HopResult{Hop: 1}
+	h2 := traceroute.HopResult{Hop: 2}
+	for i := 0; i < 3; i++ {
+		h1.Replies = append(h1.Replies, traceroute.Reply{From: priv, RTT: 0.5, TTL: 64})
+		h2.Replies = append(h2.Replies, traceroute.Reply{From: pub, RTT: 0.5 + deltaMs, TTL: 254})
+	}
+	r.Hops = []traceroute.HopResult{h1, h2}
+	return r
+}
+
+// syntheticJSONL renders days of diurnal traceroutes for nProbes as the
+// newline-delimited Atlas JSON lmmonitor consumes.
+func syntheticJSONL(t *testing.T, nProbes, days int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := traceroute.NewWriter(&buf)
+	end := testT0.AddDate(0, 0, days)
+	for ts := testT0; ts.Before(end); ts = ts.Add(30 * time.Minute) {
+		delta := 2.0
+		if h := ts.Hour(); h >= 12 && h < 18 {
+			delta += 8
+		}
+		for p := 1; p <= nProbes; p++ {
+			if err := tw.Write(mkTrace(p, ts, delta)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunEndToEnd drives run on a synthetic stream: scheduled reports
+// appear at the -every cadence and exactly one final flush follows.
+func TestRunEndToEnd(t *testing.T) {
+	input := syntheticJSONL(t, 3, 6)
+	var buf bytes.Buffer
+	cfg := config{
+		window:  5 * 24 * time.Hour,
+		every:   48 * time.Hour,
+		sortIn:  true,
+		metrics: telemetry.NewRegistry(),
+		grace:   time.Minute,
+	}
+	if err := run(context.Background(), cfg, bytes.NewReader(input), &printer{w: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "final state:"); got != 1 {
+		t.Fatalf("final flush count = %d, want 1\n%s", got, out)
+	}
+	if !strings.Contains(out, "end of stream") {
+		t.Fatalf("missing end-of-stream header:\n%s", out)
+	}
+	if !strings.Contains(out, "== ") {
+		t.Fatalf("no scheduled report in output:\n%s", out)
+	}
+	if !strings.Contains(out, "ingested ") {
+		t.Fatalf("no stats line in output:\n%s", out)
+	}
+}
+
+// TestRunInterruptFlushesOnce pins the fix itself: a cancellation racing
+// the stream (with the watchdog grace forced to zero so the forced-flush
+// path really runs concurrently) still yields exactly one final report,
+// with no interleaved output.
+func TestRunInterruptFlushesOnce(t *testing.T) {
+	input := syntheticJSONL(t, 3, 6)
+	pr, pw := io.Pipe()
+	go func() {
+		// Dribble the stream, then leave the pipe open: the run can only
+		// end via cancellation, never via a too-fast end of stream.
+		for len(input) > 0 {
+			n := 16 << 10
+			if n > len(input) {
+				n = len(input)
+			}
+			if _, err := pw.Write(input[:n]); err != nil {
+				return
+			}
+			input = input[n:]
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var exits []int
+	var exitMu sync.Mutex
+	cfg := config{
+		window:  5 * 24 * time.Hour,
+		every:   24 * time.Hour,
+		sortIn:  false, // stream mode: process as results arrive
+		metrics: telemetry.NewRegistry(),
+		grace:   0, // watchdog fires immediately on cancel
+		exit: func(code int) {
+			exitMu.Lock()
+			exits = append(exits, code)
+			exitMu.Unlock()
+		},
+	}
+	var buf bytes.Buffer
+	out := &printer{w: &buf}
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, pr, out) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	_ = pw.CloseWithError(nil)
+
+	s := buf.String()
+	if got := strings.Count(s, "final state:"); got != 1 {
+		t.Fatalf("final flush count = %d, want 1\n%s", got, s)
+	}
+	if !strings.Contains(s, "interrupted") {
+		t.Fatalf("missing interrupted header:\n%s", s)
+	}
+}

@@ -43,15 +43,16 @@ func main() {
 		csvDir   = flag.String("csv", "", "optional directory for per-AS signal CSV dumps")
 		workers  = flag.Int("workers", 0, "worker goroutines for the per-AS pipeline (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
 		shards   = flag.Int("shards", 0, "engine lock stripes for the replay (0 = GOMAXPROCS; output is identical at any count)")
+		metrics  = flag.String("metrics", "", "write an end-of-run telemetry snapshot (Prometheus text) to this file (- for stdout)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *probesIn, *csvDir, *workers, *shards); err != nil {
+	if err := run(*in, *ribIn, *probesIn, *csvDir, *metrics, *workers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "lmsurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, ribIn, probesIn, csvDir string, workers, shards int) error {
+func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards int) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -151,14 +152,23 @@ func run(in, ribIn, probesIn, csvDir string, workers, shards int) error {
 	}
 	fmt.Print("\n\n")
 
+	reg := lastmile.DefaultMetrics()
 	survey, skipped, err := lastmile.RunSurvey(start.Format("2006-01"), results, lastmile.SurveyOptions{
 		Start:   start,
 		End:     end,
 		Workers: workers,
 		Shards:  shards,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
+	}
+	if metricsOut != "" {
+		defer func() {
+			if derr := reg.DumpFile(metricsOut); derr != nil {
+				fmt.Fprintln(os.Stderr, "lmsurvey: metrics dump:", derr)
+			}
+		}()
 	}
 	skipReason := map[lastmile.ASN]error{}
 	for _, s := range skipped {

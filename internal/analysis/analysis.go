@@ -10,8 +10,10 @@
 // packages that must reproduce EXPERIMENTS.md bit-for-bit (detguard),
 // lock misuse in the concurrent streaming monitor (locksafe),
 // goroutine fan-out that bypasses the worker-pool index discipline
-// (poolsafe), and dropped Close/Flush/Write errors on the
-// ingest/report paths (errclose).
+// (poolsafe), dropped Close/Flush/Write errors on the
+// ingest/report paths (errclose), and telemetry misuse that would put
+// registry lookups on hot paths or fork atomic metric state
+// (metricsafe).
 package analysis
 
 import (
@@ -141,6 +143,7 @@ func All() []*Analyzer {
 		LockSafeAnalyzer,
 		ErrCloseAnalyzer,
 		PoolSafeAnalyzer,
+		MetricSafeAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

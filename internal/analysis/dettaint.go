@@ -209,12 +209,17 @@ func directTaintSources(mp *ModulePass, node *FuncNode, sorts bool) []taintSourc
 	return out
 }
 
-// isTaintSanitizer reports whether the declaration belongs to the keyed
-// netsim randomness API, which is deterministic by construction: all draws
-// derive from (seed, entity, time) tuples. Taint never propagates out of a
-// sanitizer.
+// isTaintSanitizer reports whether the declaration is deterministic by
+// construction, so taint never propagates out of it. Two APIs qualify:
+// the keyed netsim randomness API (all draws derive from (seed, entity,
+// time) tuples) and the telemetry package (observation-only by contract —
+// the wall-clock reads inside its timers feed metrics, never results, a
+// guarantee the core/stream metrics-equivalence tests pin bit-for-bit).
 func isTaintSanitizer(n *FuncNode) bool {
 	path := n.Pkg.Path
+	if path == "telemetry" || strings.HasSuffix(path, "/telemetry") {
+		return true
+	}
 	if path != "netsim" && !strings.HasSuffix(path, "/netsim") {
 		return false
 	}

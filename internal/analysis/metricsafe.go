@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricSafeAnalyzer enforces the telemetry package's usage contract:
+//
+//   - Registration (Registry.Counter/Gauge/Histogram/GaugeFunc) must not
+//     run inside a loop. Registration is get-or-create under the
+//     registry's lock; on a hot loop it turns a lock-free metric update
+//     into a serialised map lookup, which is exactly the overhead the
+//     atomic metric types exist to avoid. Register once at construction
+//     time and hold the returned pointer.
+//   - Metric state must move by pointer. Counter, Gauge, Histogram, and
+//     Registry all embed atomics (or a mutex); a by-value copy or a
+//     dereference forks that state, so updates land on a clone the
+//     registry never snapshots — counts silently split.
+var MetricSafeAnalyzer = &Analyzer{
+	Name: "metricsafe",
+	Doc:  "flags metric registration inside loops and by-value copies of telemetry metric state",
+	Run:  runMetricSafe,
+}
+
+func runMetricSafe(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		checkMetricCopies(pass, fd)
+		if fd.Body != nil {
+			checkLoopRegistration(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// telemetryMetricType returns the type name when t (possibly behind one
+// pointer) is a metric-state type of a telemetry package — the internal
+// one or any package named telemetry.
+func telemetryMetricType(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	o := named.Obj()
+	if o.Pkg() == nil {
+		return "", false
+	}
+	if p := o.Pkg().Path(); p != "telemetry" && !strings.HasSuffix(p, "/telemetry") {
+		return "", false
+	}
+	switch o.Name() {
+	case "Counter", "Gauge", "Histogram", "Registry":
+		return o.Name(), true
+	}
+	return "", false
+}
+
+// containsMetric reports whether t holds telemetry metric state by value
+// (directly, or through a struct field or array element).
+func containsMetric(t types.Type) bool {
+	if _, ok := telemetryMetricType(t); ok {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMetric(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMetric(u.Elem())
+	}
+	return false
+}
+
+// checkMetricCopies flags receivers, parameters, results, and explicit
+// dereferences that transport metric state by value.
+func checkMetricCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMetric(t) {
+				qual := func(p *types.Package) string {
+					if p == pass.Pkg {
+						return ""
+					}
+					return p.Name()
+				}
+				pass.Reportf(field.Type.Pos(), "%s of type %s copies telemetry metric state by value; share by pointer", kind, types.TypeString(t, qual))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		star, ok := n.(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[star]
+		if !ok || !tv.IsValue() {
+			return true // a *telemetry.Counter type expression, not a deref
+		}
+		if name, ok := telemetryMetricType(tv.Type); ok {
+			pass.Reportf(star.Pos(), "dereferencing a *telemetry.%s copies its atomic state; keep the pointer", name)
+		}
+		return true
+	})
+}
+
+// registrationCall returns the method name when call registers a metric
+// on a telemetry Registry.
+func registrationCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram", "GaugeFunc":
+	default:
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if name, ok := telemetryMetricType(t); ok && name == "Registry" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// checkLoopRegistration walks stmts, flagging registration calls that
+// execute inside any enclosing for/range statement. Function literals
+// reset the loop context — a callback defined in a loop runs later, and
+// its own loops are checked independently.
+func checkLoopRegistration(pass *Pass, body ast.Node, inLoop bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				checkLoopRegistration(pass, n.Init, inLoop)
+			}
+			if n.Cond != nil {
+				checkLoopRegistration(pass, n.Cond, inLoop)
+			}
+			if n.Post != nil {
+				checkLoopRegistration(pass, n.Post, inLoop)
+			}
+			checkLoopRegistration(pass, n.Body, true)
+			return false
+		case *ast.RangeStmt:
+			checkLoopRegistration(pass, n.X, inLoop)
+			checkLoopRegistration(pass, n.Body, true)
+			return false
+		case *ast.FuncLit:
+			checkLoopRegistration(pass, n.Body, false)
+			return false
+		case *ast.CallExpr:
+			if method, ok := registrationCall(pass, n); ok && inLoop {
+				pass.Reportf(n.Pos(), "metric registration (%s) inside a loop; register once at construction time and reuse the pointer", method)
+			}
+		}
+		return true
+	})
+}

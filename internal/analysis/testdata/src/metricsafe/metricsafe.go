@@ -1,0 +1,103 @@
+// Package metricsafe is the golden fixture for the metricsafe analyzer.
+// It imports the real telemetry package so the checks run against the
+// exact types the pipeline uses.
+package metricsafe
+
+import (
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+)
+
+// badLoopRegistration re-resolves the counter on every iteration: each
+// pass pays the registry lock and map lookup.
+func badLoopRegistration(r *telemetry.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("iterations_total").Inc() // want "metric registration (Counter) inside a loop"
+	}
+}
+
+// badRangeRegistration does the same over a range statement, through the
+// default registry accessor.
+func badRangeRegistration(values []float64) {
+	for _, v := range values {
+		telemetry.Default().Histogram("vals", []float64{1, 2}).Observe(v) // want "metric registration (Histogram) inside a loop"
+	}
+}
+
+// badNestedLoop registers several levels down.
+func badNestedLoop(r *telemetry.Registry) {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if i == j {
+				r.Gauge("depth").Set(int64(j)) // want "metric registration (Gauge) inside a loop"
+			}
+		}
+	}
+}
+
+// goodHoisted resolves once and updates the returned pointer in the loop
+// — the pattern the analyzer pushes toward.
+func goodHoisted(r *telemetry.Registry, n int) {
+	c := r.Counter("iterations_total")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+// goodLoopCallback defines a GaugeFunc callback inside a loop; the
+// registration itself is outside any loop, and the callback body is not
+// loop context.
+func goodLoopCallback(r *telemetry.Registry, names []string) {
+	fns := make([]func() float64, 0, len(names))
+	for range names {
+		fns = append(fns, func() float64 { return 1 })
+	}
+	if len(fns) > 0 {
+		r.GaugeFunc("level", fns[0])
+	}
+}
+
+// badGaugeFuncInLoop registers a callback per name — the registration
+// runs in the loop even though the callback does not.
+func badGaugeFuncInLoop(r *telemetry.Registry, names []string) {
+	for range names {
+		r.GaugeFunc("level", func() float64 { return 1 }) // want "metric registration (GaugeFunc) inside a loop"
+	}
+}
+
+// badValueParam transports a counter by value, forking its atomic state.
+func badValueParam(c telemetry.Counter) { // want "parameter of type telemetry.Counter copies telemetry metric state by value"
+	c.Inc()
+}
+
+// holder embeds metric state by value, so passing it by value is a copy.
+type holder struct {
+	hits telemetry.Counter
+}
+
+func badStructParam(h holder) int64 { // want "parameter of type holder copies telemetry metric state by value"
+	return h.hits.Value()
+}
+
+// badValueResult returns a gauge by value.
+func badValueResult() (g telemetry.Gauge) { // want "result of type telemetry.Gauge copies telemetry metric state by value"
+	return
+}
+
+// badDeref copies a counter out of its pointer.
+func badDeref(c *telemetry.Counter) int64 {
+	cp := *c // want "dereferencing a *telemetry.Counter copies its atomic state"
+	return cp.Value()
+}
+
+// goodPointerParam is the sanctioned shape: metric state by pointer, and
+// mentioning the pointer type is not a dereference.
+func goodPointerParam(c *telemetry.Counter, h *telemetry.Histogram) *telemetry.Counter {
+	c.Inc()
+	h.Observe(1)
+	return c
+}
+
+// goodHolder shares the struct behind a pointer.
+func goodHolder(h *holder) {
+	h.hits.Inc()
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+)
+
+// TestRunSurveyMetricsEquivalence pins the observation-only contract of
+// the survey instrumentation: RunSurvey with a caller-supplied registry
+// must produce bit-identical results to a run on its private default
+// registry. If a telemetry hook ever perturbs the pipeline, this fails.
+func TestRunSurveyMetricsEquivalence(t *testing.T) {
+	results := diurnalResults(64500, 4, 6, 5)
+	results = append(results, diurnalResults(64501, 3, 6, 0)...)
+
+	base, baseSkipped, err := RunSurvey("eq", results, SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	got, gotSkipped, err := RunSurvey("eq", results, SurveyOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Len() != base.Len() || len(gotSkipped) != len(baseSkipped) {
+		t.Fatalf("shape: %d/%d results, %d/%d skipped",
+			got.Len(), base.Len(), len(gotSkipped), len(baseSkipped))
+	}
+	for asn, want := range base.Results {
+		g := got.Results[asn]
+		if g == nil {
+			t.Fatalf("AS%v missing from instrumented run", asn)
+		}
+		if g.Class != want.Class || g.Probes != want.Probes {
+			t.Fatalf("AS%v verdict {%v,%d} vs {%v,%d}", asn, g.Class, g.Probes, want.Class, want.Probes)
+		}
+		if math.Float64bits(g.DailyAmplitude) != math.Float64bits(want.DailyAmplitude) {
+			t.Fatalf("AS%v amplitude %v vs %v", asn, g.DailyAmplitude, want.DailyAmplitude)
+		}
+		for i := range want.Signal.Values {
+			if math.Float64bits(g.Signal.Values[i]) != math.Float64bits(want.Signal.Values[i]) {
+				t.Fatalf("AS%v signal[%d] %v vs %v", asn, i, g.Signal.Values[i], want.Signal.Values[i])
+			}
+		}
+	}
+
+	// The shared registry really did observe the run: the survey stage
+	// timers and the engine ingest counters it passes through must be
+	// populated.
+	var feedSeen, ingestSeen bool
+	for _, snap := range reg.Snapshot() {
+		switch {
+		case snap.Name == "survey_feed_seconds" && snap.Count >= 1:
+			feedSeen = true
+		case snap.Name == `engine_ingest_total{shard="0"}` && snap.Value >= 1:
+			ingestSeen = true
+		}
+	}
+	if !feedSeen || !ingestSeen {
+		t.Fatalf("shared registry missing survey/engine series (feed=%v ingest=%v)", feedSeen, ingestSeen)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/engine"
 	lm "github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/parallel"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
 
@@ -42,6 +43,11 @@ type SurveyOptions struct {
 	// Shards is the engine's lock-stripe count (default 1). Results are
 	// identical at any shard count.
 	Shards int
+	// Metrics is the registry the survey's engine and phase timers
+	// register into. Nil means a private registry. Telemetry is
+	// observation-only: verdicts are bit-identical with or without it
+	// (pinned by TestRunSurveyMetricsEquivalence).
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -117,6 +123,11 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		nBins++
 	}
 
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
 	// Replay the period through an unbounded engine. Per-bin medians
 	// are permutation-invariant, so the feed order does not matter and
 	// ingestion can fan out across the engine's lock stripes.
@@ -124,7 +135,9 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		BinWidth:       opts.BinWidth,
 		MinTraceroutes: opts.MinTraceroutes,
 		Shards:         opts.Shards,
+		Metrics:        reg,
 	})
+	feedTimer := reg.Histogram("survey_feed_seconds", telemetry.DefLatencyBuckets).Start()
 	err := parallel.ForEach(context.Background(), opts.Workers, len(results), func(i int) error {
 		ar := results[i]
 		if ar.Result == nil {
@@ -135,6 +148,7 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		}
 		return nil
 	})
+	feedTimer.Stop()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -159,6 +173,7 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		result *ASResult
 		reason error
 	}
+	classifyTimer := reg.Histogram("survey_classify_seconds", telemetry.DefLatencyBuckets).Start()
 	verdicts, err := parallel.Map(context.Background(), opts.Workers, len(universe), func(i int) (verdict, error) {
 		asn := universe[i]
 		if !engineASes[asn] {
@@ -174,6 +189,7 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		}
 		return verdict{result: &ASResult{ASN: asn, Probes: n, Signal: signal, Classification: cls}}, nil
 	})
+	classifyTimer.Stop()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -88,8 +88,10 @@ var twiddleCache sync.Map // transform size -> *twiddleTables
 
 func twiddlesFor(n int) *twiddleTables {
 	if v, ok := twiddleCache.Load(n); ok {
+		twiddleHits.Inc()
 		return v.(*twiddleTables)
 	}
+	twiddleMisses.Inc()
 	t := &twiddleTables{
 		fwd: make([]complex128, 0, n-1),
 		inv: make([]complex128, 0, n-1),
@@ -167,8 +169,10 @@ var bluesteinCache sync.Map // bluesteinKey -> *bluesteinPlan
 func bluesteinPlanFor(n int, inverse bool) *bluesteinPlan {
 	key := bluesteinKey{n, inverse}
 	if v, ok := bluesteinCache.Load(key); ok {
+		bluesteinHits.Inc()
 		return v.(*bluesteinPlan)
 	}
+	bluesteinMisses.Inc()
 	sign := -1.0
 	if inverse {
 		sign = 1.0

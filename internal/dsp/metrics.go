@@ -1,0 +1,19 @@
+package dsp
+
+import "github.com/last-mile-congestion/lastmile/internal/telemetry"
+
+// The dsp caches are package-global (sync.Map / sync.Pool shared across
+// every Welch run in the process), so their hit-rate counters register
+// into the process-wide default registry at init time. A falling hit
+// rate on a deployment means the workload stopped reusing segment
+// lengths — the one regression that silently erases the plan-cache wins.
+var (
+	planPoolHits    = telemetry.Default().Counter("dsp_plan_pool_hits_total")
+	planPoolMisses  = telemetry.Default().Counter("dsp_plan_pool_misses_total")
+	windowHits      = telemetry.Default().Counter("dsp_window_cache_hits_total")
+	windowMisses    = telemetry.Default().Counter("dsp_window_cache_misses_total")
+	twiddleHits     = telemetry.Default().Counter("dsp_twiddle_cache_hits_total")
+	twiddleMisses   = telemetry.Default().Counter("dsp_twiddle_cache_misses_total")
+	bluesteinHits   = telemetry.Default().Counter("dsp_bluestein_cache_hits_total")
+	bluesteinMisses = telemetry.Default().Counter("dsp_bluestein_cache_misses_total")
+)

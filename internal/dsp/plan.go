@@ -68,9 +68,11 @@ var realFFTPool sync.Pool
 func getRealFFT(n int) *RealFFT {
 	if v := realFFTPool.Get(); v != nil {
 		if p := v.(*RealFFT); p.n == n {
+			planPoolHits.Inc()
 			return p
 		}
 	}
+	planPoolMisses.Inc()
 	return NewRealFFT(n)
 }
 

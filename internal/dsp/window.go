@@ -85,8 +85,10 @@ var coeffCache sync.Map // windowKey -> []float64
 func (w Window) cachedCoefficients(n int) []float64 {
 	key := windowKey{w, n}
 	if v, ok := coeffCache.Load(key); ok {
+		windowHits.Inc()
 		return v.([]float64)
 	}
+	windowMisses.Inc()
 	v, _ := coeffCache.LoadOrStore(key, w.Coefficients(n))
 	return v.([]float64)
 }

@@ -24,6 +24,7 @@ import (
 
 	"github.com/last-mile-congestion/lastmile/internal/bgp"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// Shards is the number of lock stripes state is spread over, keyed
 	// by ASN (default 1). Results are identical at any shard count.
 	Shards int
+	// Metrics is the registry the engine's instrumentation registers
+	// into. Nil means a private registry: the engine is always
+	// instrumented (the cost is identical either way), the registry only
+	// decides who can scrape it. Sharing one registry across engines
+	// shares the counter series — counts then accumulate process-wide,
+	// and Stats reports the shared totals.
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -100,16 +108,23 @@ type asWindow struct {
 // shard is one lock stripe: the ASes hashing to it, plus counters and
 // the eviction watermark.
 type shard struct {
-	mu    sync.Mutex
-	ases  map[bgp.ASN]*asWindow
+	mu   sync.Mutex
+	ases map[bgp.ASN]*asWindow
 	// swept is the newest-observation bin key the shard last swept at;
 	// a sweep runs only when the global watermark crosses into a new
 	// bin, amortising eviction to one pass per bin width.
-	swept             int64
-	ingested, dropped int64
-	probes, bins      int64
-	samples           int64
-	evictedBins       int64
+	swept        int64
+	probes, bins int64
+	samples      int64
+	// tick counts Observe calls under the shard lock for the 1-in-64
+	// ingest-latency sampling — a plain int, not a metric.
+	tick int64
+	// ingested is the shard's accepted-result series; per-shard so
+	// stripe imbalance is visible on the ops endpoint.
+	ingested *telemetry.Counter
+	// latency is the sampled critical-section duration of Observe on
+	// this shard (lock waits show up in the contention counter instead).
+	latency *telemetry.Histogram
 }
 
 // Engine is the sharded incremental delay engine. It is safe for
@@ -120,15 +135,48 @@ type Engine struct {
 	// advanced by CAS so ingestion never serialises across shards.
 	newest atomic.Int64
 	shards []*shard
+
+	// contention counts Observe calls that found their stripe locked
+	// (TryLock miss) — the operational signal for shard imbalance.
+	contention *telemetry.Counter
+	dropped    *telemetry.Counter
+	sweeps     *telemetry.Counter
+	evicted    *telemetry.Counter
+	// sweepSeconds times full eviction sweeps; sweeps run once per bin
+	// width per shard, so the timer cost is negligible.
+	sweepSeconds *telemetry.Histogram
 }
 
 // New creates an engine.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
-	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
-	for i := range e.shards {
-		e.shards[i] = &shard{ases: make(map[bgp.ASN]*asWindow), swept: -1 << 62}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
+	e := &Engine{opts: opts, shards: make([]*shard, opts.Shards)}
+	e.contention = reg.Counter("engine_shard_contention_total")
+	e.dropped = reg.Counter("engine_dropped_total")
+	e.sweeps = reg.Counter("engine_eviction_sweeps_total")
+	e.evicted = reg.Counter("engine_evicted_bins_total")
+	e.sweepSeconds = reg.Histogram("engine_eviction_sweep_seconds", telemetry.DefLatencyBuckets)
+	// Construction-time registration: the loop is bounded by the shard
+	// count and runs exactly once per engine, never on the ingest path.
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			ases:     make(map[bgp.ASN]*asWindow),
+			swept:    -1 << 62,
+			ingested: reg.Counter(fmt.Sprintf(`engine_ingest_total{shard="%d"}`, i)),                                  //lmvet:ignore metricsafe once-per-engine shard registration, not a hot path
+			latency:  reg.Histogram(fmt.Sprintf(`engine_ingest_seconds{shard="%d"}`, i), telemetry.DefLatencyBuckets), //lmvet:ignore metricsafe once-per-engine shard registration, not a hot path
+		}
+	}
+	// Resident-state levels are derived from shard maps at scrape time
+	// rather than maintained incrementally; last-wins replacement means a
+	// rebuilt engine simply takes over the series.
+	reg.GaugeFunc("engine_resident_ases", func() float64 { return float64(e.Stats().ASes) })
+	reg.GaugeFunc("engine_resident_probes", func() float64 { return float64(e.Stats().Probes) })
+	reg.GaugeFunc("engine_resident_bins", func() float64 { return float64(e.Stats().Bins) })
+	reg.GaugeFunc("engine_resident_samples", func() float64 { return float64(e.Stats().Samples) })
 	e.newest.Store(-1 << 62)
 	return e
 }
@@ -167,19 +215,39 @@ func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float6
 		}
 	}
 	sh := e.shardOf(asn)
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		// A miss means another goroutine holds this stripe right now;
+		// the counter is how shard imbalance shows up operationally.
+		e.contention.Inc()
+		sh.mu.Lock()
+	}
 	defer sh.mu.Unlock()
+	// 1-in-64 sampled critical-section latency. The tick is a plain int
+	// guarded by the shard lock, and the zero Timer of the unsampled
+	// path is never stopped.
+	sh.tick++
+	sampled := sh.tick&63 == 0
+	var tm telemetry.Timer
+	if sampled {
+		tm = sh.latency.Start()
+	}
 	if e.opts.Window > 0 {
 		newest := e.newest.Load()
 		if ts < newest-int64(e.opts.Window)-int64(e.opts.MaxLateness) {
-			sh.dropped++
+			e.dropped.Inc()
+			if sampled {
+				tm.Stop()
+			}
 			return false
 		}
 		// Amortised eviction: sweep only when the watermark entered a
 		// new bin since this shard's last sweep.
 		if nk := e.binKey(newest / int64(time.Second)); nk > sh.swept {
+			st := e.sweepSeconds.Start()
 			e.evictShardLocked(sh, newest)
 			sh.swept = nk
+			st.Stop()
+			e.sweeps.Inc()
 		}
 	}
 	aw := sh.ases[asn]
@@ -203,7 +271,10 @@ func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float6
 	before := b.Len()
 	b.AddGroup(samples)
 	sh.samples += int64(b.Len() - before)
-	sh.ingested++
+	sh.ingested.Inc()
+	if sampled {
+		tm.Stop()
+	}
 	return true
 }
 
@@ -219,7 +290,7 @@ func (e *Engine) evictShardLocked(sh *shard, newestNano int64) {
 				if key < horizon {
 					sh.samples -= int64(b.Len())
 					sh.bins--
-					sh.evictedBins++
+					e.evicted.Inc()
 					delete(pw.bins, key)
 				}
 			}
@@ -273,19 +344,22 @@ func (e *Engine) ASNs() []bgp.ASN {
 	return out
 }
 
-// Stats sums the per-shard counters and gauges.
+// Stats sums the per-shard counters and gauges. The monotonic counts are
+// registry-backed, so with a shared Options.Metrics they report the
+// registry's process-wide totals.
 func (e *Engine) Stats() Stats {
 	var out Stats
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		out.add(Stats{
-			Ingested: sh.ingested, Dropped: sh.dropped,
-			ASes: int64(len(sh.ases)), Probes: sh.probes,
+			Ingested: sh.ingested.Value(),
+			ASes:     int64(len(sh.ases)), Probes: sh.probes,
 			Bins: sh.bins, Samples: sh.samples,
-			EvictedBins: sh.evictedBins,
 		})
 		sh.mu.Unlock()
 	}
+	out.Dropped = e.dropped.Value()
+	out.EvictedBins = e.evicted.Value()
 	return out
 }
 

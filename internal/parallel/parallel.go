@@ -12,6 +12,19 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+)
+
+// Pool instrumentation registers into the process-wide registry at init
+// time: pooled fan-outs happen all over the pipeline, so one shared
+// inflight gauge is the queue-depth signal operators read. The serial
+// path stays untouched — Workers=1 runs must reproduce historical
+// behaviour with zero added cost.
+var (
+	poolRuns     = telemetry.Default().Counter("parallel_pool_runs_total")
+	poolTasks    = telemetry.Default().Counter("parallel_tasks_total")
+	poolInflight = telemetry.Default().Gauge("parallel_inflight")
 )
 
 // Map runs fn for indices 0..n-1 on at most workers goroutines and
@@ -35,6 +48,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 	if workers > n {
 		workers = n
 	}
+	poolRuns.Inc()
 	out := make([]T, n)
 	errs := make([]error, n)
 	var failed atomic.Bool
@@ -59,7 +73,10 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				poolTasks.Inc()
+				poolInflight.Inc()
 				v, err := fn(i)
+				poolInflight.Dec()
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+)
+
+// TestMonitorMetricsEquivalence pins the observation-only contract of
+// the telemetry hooks: a monitor wired to a caller-supplied registry
+// must produce bit-identical verdicts to one running on its private
+// default registry. If instrumentation ever perturbs the pipeline
+// (ordering, rounding, sampling of real data), this fails.
+func TestMonitorMetricsEquivalence(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	run := func(metrics *telemetry.Registry) ([]*Verdict, []SkippedAS) {
+		m := NewMonitor(Options{Window: 8 * 24 * time.Hour, Metrics: metrics})
+		feedDiurnal(t, m, 100, 3, 8, 5)
+		feedDiurnal(t, m, 200, 3, 8, 0)
+		v, s := m.ClassifyAll()
+		return v, s
+	}
+	base, baseSkipped := run(nil)
+	got, gotSkipped := run(reg)
+
+	if len(got) != len(base) || len(gotSkipped) != len(baseSkipped) {
+		t.Fatalf("shape: %d/%d verdicts, %d/%d skipped",
+			len(got), len(base), len(gotSkipped), len(baseSkipped))
+	}
+	for i, want := range base {
+		g := got[i]
+		if g.ASN != want.ASN || g.Class != want.Class || g.Probes != want.Probes {
+			t.Fatalf("verdict[%d]: {%v,%v,%d} vs {%v,%v,%d}",
+				i, g.ASN, g.Class, g.Probes, want.ASN, want.Class, want.Probes)
+		}
+		if math.Float64bits(g.DailyAmplitude) != math.Float64bits(want.DailyAmplitude) {
+			t.Fatalf("verdict[%d]: amplitude %v vs %v", i, g.DailyAmplitude, want.DailyAmplitude)
+		}
+		if g.Signal.Len() != want.Signal.Len() {
+			t.Fatalf("verdict[%d]: signal length %d vs %d", i, g.Signal.Len(), want.Signal.Len())
+		}
+		for j := range want.Signal.Values {
+			if math.Float64bits(g.Signal.Values[j]) != math.Float64bits(want.Signal.Values[j]) {
+				t.Fatalf("verdict[%d]: signal[%d] %v vs %v",
+					i, j, g.Signal.Values[j], want.Signal.Values[j])
+			}
+		}
+	}
+
+	// The shared registry really did observe the run.
+	for _, snap := range reg.Snapshot() {
+		if snap.Name == "stream_classify_runs_total" && snap.Value >= 1 {
+			return
+		}
+	}
+	t.Fatal("stream_classify_runs_total missing or zero in shared registry")
+}

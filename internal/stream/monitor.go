@@ -26,6 +26,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/engine"
 	"github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/parallel"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
@@ -53,6 +54,11 @@ type Options struct {
 	// Workers bounds the ClassifyAll fan-out (default GOMAXPROCS).
 	// Output is identical at any worker count.
 	Workers int
+	// Metrics is the registry the monitor and its engine register their
+	// instrumentation into. Nil means a private registry; telemetry is
+	// observation-only either way — verdicts are bit-identical with or
+	// without a shared registry (pinned by TestMonitorMetricsEquivalence).
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -87,11 +93,26 @@ type SkippedAS = core.SkippedAS
 type Monitor struct {
 	opts Options
 	eng  *engine.Engine
+
+	// ClassifyAll stage instrumentation: whole-pass duration, the two
+	// per-AS stages (window signal extraction vs. §2.3 classification),
+	// and verdict/skip outcome counts.
+	classifyRuns    *telemetry.Counter
+	classifySeconds *telemetry.Histogram
+	signalStage     *telemetry.Histogram
+	classifyStage   *telemetry.Histogram
+	verdicts        *telemetry.Counter
+	skipped         *telemetry.Counter
+	ignored         *telemetry.Counter
 }
 
 // NewMonitor creates a monitor.
 func NewMonitor(opts Options) *Monitor {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Monitor{
 		opts: opts,
 		eng: engine.New(engine.Options{
@@ -100,7 +121,15 @@ func NewMonitor(opts Options) *Monitor {
 			Window:         opts.Window,
 			MaxLateness:    opts.MaxLateness,
 			Shards:         opts.Shards,
+			Metrics:        reg,
 		}),
+		classifyRuns:    reg.Counter("stream_classify_runs_total"),
+		classifySeconds: reg.Histogram("stream_classify_seconds", telemetry.DefLatencyBuckets),
+		signalStage:     reg.Histogram("stream_signal_stage_seconds", telemetry.DefLatencyBuckets),
+		classifyStage:   reg.Histogram("stream_classify_stage_seconds", telemetry.DefLatencyBuckets),
+		verdicts:        reg.Counter("stream_verdicts_total"),
+		skipped:         reg.Counter("stream_skipped_total"),
+		ignored:         reg.Counter("stream_ignored_total"),
 	}
 }
 
@@ -113,6 +142,7 @@ func (m *Monitor) Observe(asn bgp.ASN, r *traceroute.Result) error {
 	}
 	samples, _, ok := lastmile.Estimate(r)
 	if !ok {
+		m.ignored.Inc()
 		return nil
 	}
 	m.eng.Observe(asn, r.ProbeID, r.Timestamp, samples)
@@ -142,11 +172,15 @@ func (m *Monitor) ClassifyAS(asn bgp.ASN) (*Verdict, error) {
 	if !ok {
 		return nil, fmt.Errorf("stream: no observations yet for %v", asn)
 	}
+	st := m.signalStage.Start()
 	signal, probes, err := m.eng.Signal(asn, start, nBins)
+	st.Stop()
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
+	ct := m.classifyStage.Start()
 	cls, err := core.Classify(signal, m.opts.Classifier)
+	ct.Stop()
 	if err != nil {
 		return nil, fmt.Errorf("stream: %v: %w", asn, err)
 	}
@@ -158,6 +192,8 @@ func (m *Monitor) ClassifyAS(asn bgp.ASN) (*Verdict, error) {
 // classified yet are returned separately with their reasons, in ASN
 // order.
 func (m *Monitor) ClassifyAll() ([]*Verdict, []SkippedAS) {
+	defer m.classifySeconds.Start().Stop()
+	m.classifyRuns.Inc()
 	asns := m.eng.ASNs()
 	type outcome struct {
 		v      *Verdict
@@ -181,5 +217,7 @@ func (m *Monitor) ClassifyAll() ([]*Verdict, []SkippedAS) {
 			skipped = append(skipped, SkippedAS{ASN: asns[i], Reason: o.reason})
 		}
 	}
+	m.verdicts.Add(int64(len(verdicts)))
+	m.skipped.Add(int64(len(skipped)))
 	return verdicts, skipped
 }

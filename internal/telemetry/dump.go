@@ -1,0 +1,23 @@
+package telemetry
+
+import "os"
+
+// DumpFile writes the registry's Prometheus text snapshot to path, with
+// "-" meaning stdout — the end-of-run dump behind the CLIs' -metrics
+// flag. The file is truncated first, so repeated runs leave exactly one
+// snapshot.
+func (r *Registry) DumpFile(path string) error {
+	if path == "-" {
+		return r.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.WritePrometheus(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

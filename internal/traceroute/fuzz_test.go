@@ -1,0 +1,73 @@
+package traceroute
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseAtlasJSON is the coverage-guided companion to
+// TestParseAtlasNeverPanics: ParseAtlas must never panic, and any input
+// it accepts must survive a Marshal/Parse round trip with its sample
+// structure intact — hop count, per-hop reply counts, the answered
+// (non-timeout) subset, identity fields, and RTT bits.
+//
+// Seed corpus: the f.Add seeds below plus testdata/fuzz/FuzzParseAtlasJSON.
+// scripts/check.sh runs a short -fuzz smoke pass over it.
+func FuzzParseAtlasJSON(f *testing.F) {
+	valid, err := MarshalAtlas(sampleResult())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"result": [{"hop": 1, "result": [{"x": "*"}]}]}`))
+	f.Add([]byte(`{"fw": 5020, "af": 6, "prb_id": 7, "msm_id": 5010, "timestamp": 1568894400,` +
+		` "src_addr": "2001:db8::5", "result": [{"hop": 1, "result":` +
+		` [{"from": "2001:db8::1", "rtt": 0.7, "ttl": 64}, {"err": "N"}]}]}`))
+	f.Add([]byte(`{"result": [{"hop": 1, "result": [{"rtt": "fast"}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseAtlas(data) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted input: re-encode and re-parse; the sampled structure
+		// must round-trip exactly.
+		enc, err := MarshalAtlas(r)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v\ninput: %q", err, data)
+		}
+		r2, err := ParseAtlas(enc)
+		if err != nil {
+			t.Fatalf("re-encoded output failed to parse: %v\nencoded: %q", err, enc)
+		}
+		if r2.ProbeID != r.ProbeID || r2.MsmID != r.MsmID || r2.AF != r.AF ||
+			!r2.Timestamp.Equal(r.Timestamp) {
+			t.Fatalf("identity fields changed: %+v vs %+v", r2, r)
+		}
+		if len(r2.Hops) != len(r.Hops) {
+			t.Fatalf("hop count %d -> %d", len(r.Hops), len(r2.Hops))
+		}
+		for i, h := range r.Hops {
+			h2 := r2.Hops[i]
+			if h2.Hop != h.Hop || len(h2.Replies) != len(h.Replies) {
+				t.Fatalf("hop[%d] {%d,%d replies} -> {%d,%d replies}",
+					i, h.Hop, len(h.Replies), h2.Hop, len(h2.Replies))
+			}
+			for j, rep := range h.Replies {
+				rep2 := h2.Replies[j]
+				if rep2.Timeout != rep.Timeout {
+					t.Fatalf("hop[%d] reply[%d] timeout %v -> %v", i, j, rep.Timeout, rep2.Timeout)
+				}
+				if rep.Timeout {
+					continue
+				}
+				if rep2.From != rep.From || rep2.TTL != rep.TTL ||
+					math.Float64bits(rep2.RTT) != math.Float64bits(rep.RTT) {
+					t.Fatalf("hop[%d] reply[%d] %+v -> %+v", i, j, rep, rep2)
+				}
+			}
+		}
+	})
+}

@@ -44,6 +44,7 @@ import (
 	lm "github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
 	"github.com/last-mile-congestion/lastmile/internal/stream"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
@@ -364,3 +365,21 @@ type StreamStats = stream.Stats
 
 // NewStreamMonitor creates a streaming monitor.
 func NewStreamMonitor(opts StreamOptions) *StreamMonitor { return stream.NewMonitor(opts) }
+
+// --- Telemetry ---
+
+// MetricsRegistry is a named collection of lock-free counters, gauges,
+// and latency histograms with deterministic snapshot ordering. Pass one
+// via SurveyOptions.Metrics or StreamOptions.Metrics to observe the
+// pipeline's hot paths; expose it with its Prometheus-text or JSON
+// handlers. Telemetry is observation-only — wiring a registry never
+// changes a verdict.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry that package-level
+// subsystems (the dsp plan caches, the parallel worker pool) register
+// into.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }

@@ -36,6 +36,18 @@ go test -race -count=1 ./internal/engine/
 go test -race -count=1 -run 'ReplayEquivalence' ./internal/experiments/
 go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal/stream/
 
+# Telemetry registry: a dedicated uncached -race stress pass — eight
+# goroutines hammer one registry while snapshots render concurrently,
+# and snapshots must be byte-identical at every worker count.
+echo "==> go test -race -count=1 (telemetry stress)"
+go test -race -count=1 ./internal/telemetry/
+
+# Fuzz smoke: a short coverage-guided run over the Atlas JSON parser.
+# Seeds (testdata/fuzz + f.Add) always run under plain `go test`; this
+# stage gives the mutator a few seconds to hunt for fresh panics.
+echo "==> go test -fuzz (Atlas JSON parser, 5s smoke)"
+go test -run '^$' -fuzz 'FuzzParseAtlasJSON' -fuzztime 5s ./internal/traceroute/
+
 # Benchmark smoke: every bench must still run one iteration cleanly.
 echo "==> go test -bench (smoke, 1 iteration)"
 go test -run '^$' -bench . -benchtime 1x .
