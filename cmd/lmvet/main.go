@@ -4,7 +4,11 @@
 // (both the local detguard checks and the interprocedural dettaint taint
 // engine over the module call graph), lock misuse in the streaming
 // monitor, goroutine fan-out that bypasses the worker-pool index
-// discipline, and dropped Close/Flush errors on the ingest/report paths.
+// discipline, dropped Close/Flush errors on the ingest/report paths,
+// hidden allocations reachable from //lmvet:hotpath roots (allocguard,
+// over the intraprocedural escape/provenance dataflow lattice), and
+// lock-acquisition-order cycles plus unsampled telemetry under hot
+// locks (lockorder, over the module-wide lock graph).
 //
 // Usage:
 //
@@ -20,6 +24,8 @@
 //	-json               emit findings as a JSON document
 //	-sarif PATH         also write a SARIF 2.1.0 report to PATH ("-" = stdout)
 //	-baseline PATH      suppress findings recorded in the baseline file
+//	                    (matched by analyzer+file+message, falling back to
+//	                    analyzer+directory+message across file moves)
 //	-write-baseline     rewrite the -baseline file from current findings
 //	-severity LIST      override severities, e.g. "poolsafe=error,errclose=warn"
 //	-unscoped           ignore the default per-analyzer package scoping

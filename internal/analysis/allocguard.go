@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocGuardAnalyzer statically enforces the zero-allocation contract of
+// the ingest hot path. Functions annotated with a //lmvet:hotpath doc
+// comment — and everything statically reachable from them through the
+// module call graph, call edges and function-value references alike —
+// are scanned for hidden allocations:
+//
+//   - interface boxing: a concrete, non-pointer-shaped value converted
+//     to an interface at a call site, assignment, or return
+//   - variadic calls, which materialise their argument slice
+//   - escaping closures and escaping &composite literals (the escape
+//     lattice keeps provably frame-local ones quiet)
+//   - make of slices, maps, and channels
+//   - map and slice composite literals
+//   - string <-> []byte / []rune conversions
+//   - append beyond provable capacity: appending to a slice whose
+//     provenance is neither make-with-capacity nor a reslice of
+//     existing storage
+//
+// Each finding is reported at the allocation site with the shortest
+// witness chain from an annotated root (Observe ← binInsert ← boxes
+// value into interface{}), mirroring dettaint's chains, so inline
+// //lmvet:ignore allocguard suppressions land on the exact line. The
+// contract the analyzer pins is the same one BenchmarkMonitorObserve's
+// 0 allocs/op measures: amortised allocations (pool misses, map growth,
+// once-per-bin state) are suppressed in source with their reasons,
+// everything else is a bug.
+var AllocGuardAnalyzer = &Analyzer{
+	Name:      "allocguard",
+	Doc:       "flags hidden allocations (boxing, escaping closures, unpooled make, append growth) on //lmvet:hotpath call paths",
+	RunModule: runAllocGuard,
+}
+
+// hotWitness records how the hot set reached a function: nil parent
+// means the function is itself annotated.
+type hotWitness struct {
+	parent *FuncNode
+}
+
+func runAllocGuard(mp *ModulePass) error {
+	prog := mp.Prog
+
+	// Seed: annotated roots, in deterministic node order.
+	hot := make(map[*FuncNode]hotWitness)
+	var queue []*FuncNode
+	for _, node := range prog.Nodes() {
+		if HasHotPathDirective(node.Decl) {
+			hot[node] = hotWitness{}
+			queue = append(queue, node)
+		}
+	}
+
+	// Propagate down call and reference edges, breadth-first, so each
+	// function's witness chain is a shortest path from a root.
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, edges := range [][]Edge{g.Calls, g.Refs} {
+			for _, e := range edges {
+				if _, seen := hot[e.Callee]; seen {
+					continue
+				}
+				hot[e.Callee] = hotWitness{parent: g}
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+
+	// Scan every hot function for allocation sites, in deterministic
+	// node order.
+	for _, node := range prog.Nodes() {
+		if _, ok := hot[node]; !ok {
+			continue
+		}
+		if !mp.requested(node.Pkg) {
+			continue
+		}
+		chain := hotChain(node, hot)
+		flow := BuildFuncFlow(node.Pkg.Info, node.Decl)
+		for _, site := range allocSites(node, flow) {
+			mp.Reportf(site.pos, "hot path allocates: %s ← %s; %s", chain, site.desc, site.advice)
+		}
+	}
+	return nil
+}
+
+// hotChain renders the shortest witness path root ← ... ← node.
+func hotChain(node *FuncNode, hot map[*FuncNode]hotWitness) string {
+	var names []string
+	for n := node; n != nil; n = hot[n].parent {
+		names = append(names, n.DisplayName())
+	}
+	// names runs node → root; reverse to render root ← ... ← node.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " ← ")
+}
+
+// allocSite is one statically detected allocation.
+type allocSite struct {
+	pos    token.Pos
+	desc   string
+	advice string
+}
+
+// allocSites scans one hot function body for allocation sites, in
+// source order.
+func allocSites(node *FuncNode, flow *FuncFlow) []allocSite {
+	info := node.Pkg.Info
+	var out []allocSite
+	add := func(pos token.Pos, desc, advice string) {
+		out = append(out, allocSite{pos: pos, desc: desc, advice: advice})
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(info, flow, n, add)
+		case *ast.CompositeLit:
+			t := typeOf(info, n)
+			switch t.Underlying().(type) {
+			case *types.Map:
+				add(n.Pos(), "map literal allocates", "hoist the map off the hot path or reuse one")
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates", "hoist to a package-level var or a pooled buffer")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if escapingAddr(info, flow, n, lit) {
+						add(n.Pos(), "escaping &composite literal allocates", "take the value from a sync.Pool or preallocate it")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if free := freeVars(info, n); len(free) > 0 {
+				add(n.Pos(), "closure capturing "+strings.Join(free, ", ")+" allocates", "hoist the closure or pass state explicitly")
+			}
+			return false // the literal's body runs later; sites inside are not this frame's
+		case *ast.AssignStmt:
+			checkBoxingAssign(info, n, add)
+		case *ast.ReturnStmt:
+			checkBoxingReturn(info, node, n, add)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall reports the allocation classes visible at one call site:
+// builtin make/append, conversions, variadic materialisation, and
+// interface boxing of arguments.
+func checkCall(info *types.Info, flow *FuncFlow, call *ast.CallExpr, add func(token.Pos, string, string)) {
+	// Builtins and conversions. Builtins get synthetic per-call signatures
+	// from the type checker (append's is variadic), so they must be
+	// classified here and never reach the generic call checks below.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(info, id) {
+		switch id.Name {
+		case "make":
+			t := typeOf(info, call)
+			add(call.Pos(), "make("+typeShort(t)+") allocates", "hoist the buffer to a pool or the caller")
+		case "new":
+			t := typeOf(info, call)
+			add(call.Pos(), typeShort(t)+" via new allocates", "take the value from a sync.Pool or preallocate it")
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			switch flow.ProvenanceOf(call.Args[0]) {
+			case ProvMakeCap, ProvReslice:
+				// The author sized the buffer or is reusing storage.
+			default:
+				add(call.Pos(), "append beyond provable capacity", "pre-size with make(len, cap) or append into a caller-owned buffer")
+			}
+		}
+		// The remaining builtins (len, cap, copy, delete, complex, ...)
+		// don't heap-allocate.
+		return
+	}
+	if conv, ok := stringConversion(info, call); ok {
+		add(call.Pos(), conv+" conversion allocates", "keep one representation across the hot path")
+		return
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // other conversions don't heap-allocate
+	}
+
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // spread: no new slice, no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) {
+			at := typeOf(info, arg)
+			if at != nil && !pointerShaped(at) && !isUntypedNil(info, arg) {
+				add(arg.Pos(), "boxes "+typeShort(at)+" into "+typeShort(pt), "pass a pointer or keep the argument concrete")
+			}
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		add(call.Pos(), "variadic call allocates its argument slice", "use a non-variadic variant on the hot path")
+	}
+}
+
+// stringConversion classifies string <-> []byte / []rune conversions.
+func stringConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	to, from := tv.Type.Underlying(), typeOf(info, call.Args[0])
+	if from == nil {
+		return "", false
+	}
+	from = from.Underlying()
+	if isString(to) && isByteOrRuneSlice(from) {
+		return "[]byte→string", true
+	}
+	if isByteOrRuneSlice(to) && isString(from) {
+		return "string→[]byte", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// checkBoxingAssign reports concrete non-pointer-shaped values assigned
+// into interface-typed destinations.
+func checkBoxingAssign(info *types.Info, n *ast.AssignStmt, add func(token.Pos, string, string)) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt, rt := typeOf(info, n.Lhs[i]), typeOf(info, n.Rhs[i])
+		if lt == nil || rt == nil || !types.IsInterface(lt.Underlying()) {
+			continue
+		}
+		if !pointerShaped(rt) && !isUntypedNil(info, n.Rhs[i]) {
+			add(n.Rhs[i].Pos(), "boxes "+typeShort(rt)+" into "+typeShort(lt), "store a pointer or keep the variable concrete")
+		}
+	}
+}
+
+// checkBoxingReturn reports concrete values returned through interface
+// result types.
+func checkBoxingReturn(info *types.Info, node *FuncNode, n *ast.ReturnStmt, add func(token.Pos, string, string)) {
+	sig := node.Func.Type().(*types.Signature)
+	if sig.Results().Len() != len(n.Results) {
+		return // bare return or single multi-value call
+	}
+	for i, r := range n.Results {
+		rt := sig.Results().At(i).Type()
+		if !types.IsInterface(rt.Underlying()) {
+			continue
+		}
+		at := typeOf(info, r)
+		if at != nil && !pointerShaped(at) && !isUntypedNil(info, r) {
+			add(r.Pos(), "boxes "+typeShort(at)+" into "+typeShort(rt), "return a pointer or a preallocated value")
+		}
+	}
+}
+
+// escapingAddr reports whether &lit escapes the frame. When the address
+// is bound to a local variable, the escape lattice answers; when it is
+// used directly in an escaping position (return, store, argument), the
+// surrounding context already decided.
+func escapingAddr(info *types.Info, flow *FuncFlow, addr *ast.UnaryExpr, lit *ast.CompositeLit) bool {
+	// &T{...} bound straight to a local: v := &T{...}. Non-escaping
+	// locals stay on the stack.
+	for v, rhss := range flow.defs {
+		for _, rhs := range rhss {
+			if ast.Unparen(rhs) == addr {
+				return flow.Escape(v) != EscNone
+			}
+		}
+	}
+	// Any other syntactic position (argument, return value, field store,
+	// map insert) publishes the pointer; conservatively heap.
+	return true
+}
+
+// freeVars lists the names a closure captures from its enclosing frame,
+// sorted by first use.
+func freeVars(info *types.Info, lit *ast.FuncLit) []string {
+	declared := make(map[*types.Var]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				declared[v] = true
+			}
+		}
+		return true
+	})
+	seen := make(map[*types.Var]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() && !declared[v] && !seen[v] {
+				if v.Parent() != nil && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+					seen[v] = true
+					out = append(out, v.Name())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isUntypedNil reports whether e is the untyped nil literal.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// typeShort renders a type without package qualification for compact
+// diagnostics.
+func typeShort(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

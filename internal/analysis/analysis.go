@@ -13,7 +13,9 @@
 // (poolsafe), dropped Close/Flush/Write errors on the
 // ingest/report paths (errclose), and telemetry misuse that would put
 // registry lookups on hot paths or fork atomic metric state
-// (metricsafe).
+// (metricsafe), hidden allocations on //lmvet:hotpath-annotated ingest
+// paths (allocguard), and lock-acquisition-order cycles or unsampled
+// telemetry under hot locks (lockorder).
 package analysis
 
 import (
@@ -144,6 +146,8 @@ func All() []*Analyzer {
 		ErrCloseAnalyzer,
 		PoolSafeAnalyzer,
 		MetricSafeAnalyzer,
+		AllocGuardAnalyzer,
+		LockOrderAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

@@ -17,12 +17,22 @@ import (
 // exercised and a future accepted finding has a place to live.
 type Baseline struct {
 	entries map[baselineKey]bool
+	// dirEntries is the fallback index keyed on the entry's directory
+	// instead of its file, so a finding still matches after the file it
+	// lives in is renamed within its package.
+	dirEntries map[baselineKey]bool
 }
 
 type baselineKey struct {
 	analyzer string
 	file     string
 	message  string
+}
+
+// dirKey rewrites a key's file field to its slash-form directory.
+func dirKey(k baselineKey) baselineKey {
+	k.file = filepath.ToSlash(filepath.Dir(k.file))
+	return k
 }
 
 // baselineSep separates the three fields of one entry line.
@@ -32,7 +42,10 @@ const baselineSep = "\t"
 // "analyzer<TAB>file<TAB>message" entry per line, with blank lines and
 // #-comments skipped.
 func ParseBaseline(r io.Reader) (*Baseline, error) {
-	b := &Baseline{entries: make(map[baselineKey]bool)}
+	b := &Baseline{
+		entries:    make(map[baselineKey]bool),
+		dirEntries: make(map[baselineKey]bool),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
@@ -46,7 +59,9 @@ func ParseBaseline(r io.Reader) (*Baseline, error) {
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("baseline line %d: want analyzer<TAB>file<TAB>message, got %q", lineNo, line)
 		}
-		b.entries[baselineKey{parts[0], filepath.ToSlash(parts[1]), parts[2]}] = true
+		k := baselineKey{parts[0], filepath.ToSlash(parts[1]), parts[2]}
+		b.entries[k] = true
+		b.dirEntries[dirKey(k)] = true
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -58,9 +73,17 @@ func ParseBaseline(r io.Reader) (*Baseline, error) {
 func (b *Baseline) Len() int { return len(b.entries) }
 
 // Matches reports whether d is accepted by the baseline. moduleDir
-// anchors the relative path the baseline stores.
+// anchors the relative path the baseline stores. An exact
+// analyzer+file+message match wins; failing that, the entry still
+// matches if an accepted finding with the same analyzer and message
+// lives in the same directory — so moving a file within its package
+// does not resurrect its accepted findings.
 func (b *Baseline) Matches(d Diagnostic, moduleDir string) bool {
-	return b.entries[baselineKey{d.Analyzer, relPath(moduleDir, d.Pos.Filename), d.Message}]
+	k := baselineKey{d.Analyzer, relPath(moduleDir, d.Pos.Filename), d.Message}
+	if b.entries[k] {
+		return true
+	}
+	return b.dirEntries[dirKey(k)]
 }
 
 // Filter splits diagnostics into kept (new) and baselined (accepted).

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(analyzer, file, message string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Message:  message,
+		Pos:      token.Position{Filename: file, Line: 10},
+	}
+}
+
+func TestBaselineExactMatch(t *testing.T) {
+	moduleDir := filepath.FromSlash("/mod")
+	body := "# comment\n\nfloatcmp\tinternal/dsp/fft.go\tfloat equality on spectra\n"
+	b, err := ParseBaseline(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	d := baselineDiag("floatcmp", filepath.FromSlash("/mod/internal/dsp/fft.go"), "float equality on spectra")
+	if !b.Matches(d, moduleDir) {
+		t.Error("exact entry did not match")
+	}
+	d.Message = "different message"
+	if b.Matches(d, moduleDir) {
+		t.Error("different message matched")
+	}
+	d.Message = "float equality on spectra"
+	d.Analyzer = "allocguard"
+	if b.Matches(d, moduleDir) {
+		t.Error("different analyzer matched")
+	}
+}
+
+// TestBaselineSurvivesFileMove is the regression test for the
+// directory-fallback rule: renaming a file within its package must not
+// resurrect its accepted findings, while the same message in a sibling
+// package must stay unmatched.
+func TestBaselineSurvivesFileMove(t *testing.T) {
+	moduleDir := filepath.FromSlash("/mod")
+	body := "allocguard\tinternal/dsp/fft.go\thot path allocates: twiddle cache\n"
+	b, err := ParseBaseline(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	moved := baselineDiag("allocguard",
+		filepath.FromSlash("/mod/internal/dsp/twiddle.go"),
+		"hot path allocates: twiddle cache")
+	if !b.Matches(moved, moduleDir) {
+		t.Error("finding did not survive a file move within its package")
+	}
+	otherPkg := baselineDiag("allocguard",
+		filepath.FromSlash("/mod/internal/engine/engine.go"),
+		"hot path allocates: twiddle cache")
+	if b.Matches(otherPkg, moduleDir) {
+		t.Error("finding leaked across packages via the directory fallback")
+	}
+	otherAnalyzer := moved
+	otherAnalyzer.Analyzer = "lockorder"
+	if b.Matches(otherAnalyzer, moduleDir) {
+		t.Error("directory fallback ignored the analyzer field")
+	}
+}
+
+func TestBaselineFilterSplit(t *testing.T) {
+	moduleDir := filepath.FromSlash("/mod")
+	body := "lockorder\tinternal/engine/engine.go\tsweep timer under shard lock\n"
+	b, err := ParseBaseline(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	accepted := baselineDiag("lockorder",
+		filepath.FromSlash("/mod/internal/engine/sweep.go"), // moved file, same package
+		"sweep timer under shard lock")
+	fresh := baselineDiag("lockorder",
+		filepath.FromSlash("/mod/internal/engine/engine.go"),
+		"a brand-new finding")
+	kept, baselined := b.Filter([]Diagnostic{accepted, fresh}, moduleDir)
+	if len(baselined) != 1 || baselined[0].Message != "sweep timer under shard lock" {
+		t.Errorf("baselined = %+v, want the accepted finding", baselined)
+	}
+	if len(kept) != 1 || kept[0].Message != "a brand-new finding" {
+		t.Errorf("kept = %+v, want the fresh finding", kept)
+	}
+}
+
+// TestBaselineRoundTrip pins that FormatBaseline output parses back into
+// a baseline that accepts the findings it was generated from.
+func TestBaselineRoundTrip(t *testing.T) {
+	moduleDir := filepath.FromSlash("/mod")
+	ds := []Diagnostic{
+		baselineDiag("allocguard", filepath.FromSlash("/mod/internal/dsp/fft.go"), "msg one"),
+		baselineDiag("floatcmp", filepath.FromSlash("/mod/internal/lastmile/estimate.go"), "msg two"),
+		baselineDiag("allocguard", filepath.FromSlash("/mod/internal/dsp/fft.go"), "msg one"), // duplicate
+	}
+	body := FormatBaseline(ds, moduleDir)
+	b, err := ParseBaseline(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseBaseline(FormatBaseline(...)): %v", err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (deduplicated)", b.Len())
+	}
+	for _, d := range ds {
+		if !b.Matches(d, moduleDir) {
+			t.Errorf("round-tripped baseline rejects %q", d.Message)
+		}
+	}
+}

@@ -43,6 +43,13 @@ type FuncNode struct {
 	Calls []Edge
 	// CalledBy are the incoming edges, ordered by caller, then call site.
 	CalledBy []Edge
+	// Refs are outgoing reference edges: sites where this function takes
+	// another declared function's value without calling it — a method
+	// value (x.M) or a function identifier passed, assigned, or stored as
+	// a value. The referenced function may run later with the referrer's
+	// obligations, so reachability analyses (allocguard) traverse
+	// Calls ∪ Refs.
+	Refs []Edge
 }
 
 // Edge is one static call edge; Pos is the call site in the caller.
@@ -96,6 +103,63 @@ func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
 				e := Edge{Caller: caller, Callee: callee, Pos: call.Pos()}
 				caller.Calls = append(caller.Calls, e)
 				callee.CalledBy = append(callee.CalledBy, e)
+			}
+			return true
+		})
+	}
+	// Pass 3: reference edges. An expression position is a reference when
+	// it resolves to a declared function but is not the callee of a call —
+	// method values and function idents used as values. Selector `Sel`
+	// idents are claimed by their parent selector so a method value is one
+	// edge, not two.
+	for _, node := range prog.nodes {
+		caller := node
+		info := node.Pkg.Info
+		calleeExpr := make(map[ast.Expr]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun := ast.Unparen(call.Fun)
+			switch ix := fun.(type) {
+			case *ast.IndexExpr:
+				fun = ast.Unparen(ix.X)
+			case *ast.IndexListExpr:
+				fun = ast.Unparen(ix.X)
+			}
+			calleeExpr[fun] = true
+			return true
+		})
+		addRef := func(fn *types.Func, pos token.Pos) {
+			if callee, ok := prog.Funcs[fn.Origin()]; ok {
+				caller.Refs = append(caller.Refs, Edge{Caller: caller, Callee: callee, Pos: pos})
+			}
+		}
+		claimed := make(map[*ast.Ident]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				claimed[e.Sel] = true
+				if calleeExpr[e] {
+					return true
+				}
+				if sel, ok := info.Selections[e]; ok && sel != nil {
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						addRef(fn, e.Pos())
+					}
+					return true
+				}
+				if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+					addRef(fn, e.Pos())
+				}
+			case *ast.Ident:
+				if calleeExpr[e] || claimed[e] {
+					return true
+				}
+				if fn, ok := info.Uses[e].(*types.Func); ok {
+					addRef(fn, e.Pos())
+				}
 			}
 			return true
 		})

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// buildEdgeFixtureProgram loads the callgraph fixture and builds its
+// graph.
+func buildEdgeFixtureProgram(t *testing.T) *Program {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "callgraph")
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.Load(dir); err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	return BuildProgram(l.Fset(), l.Loaded())
+}
+
+// edgeNames renders an edge list as sorted callee display names.
+func edgeNames(edges []Edge) []string {
+	var out []string
+	for _, e := range edges {
+		out = append(out, e.Callee.DisplayName())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantEdges(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s = %v, want %v", what, got, want)
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s = %v, want %v", what, got, want)
+			return
+		}
+	}
+}
+
+// TestCallGraphEdgeSets pins the exact call- and reference-edge sets of
+// the fixture: direct calls and deferred-closure calls land in Calls;
+// method values and function idents used as values land in Refs; a
+// callee expression is never double-counted as a reference; and
+// interface-method dispatch produces no edge of either kind.
+func TestCallGraphEdgeSets(t *testing.T) {
+	prog := buildEdgeFixtureProgram(t)
+	node := func(display string) *FuncNode { return findNode(t, prog, "src/callgraph", display) }
+
+	direct := node("callgraph.direct")
+	wantEdges(t, "direct.Calls", edgeNames(direct.Calls),
+		[]string{"callgraph.(*thing).M", "callgraph.other", "callgraph.target"})
+	wantEdges(t, "direct.Refs", edgeNames(direct.Refs), nil)
+
+	mv := node("callgraph.methodValue")
+	wantEdges(t, "methodValue.Calls", edgeNames(mv.Calls), []string{"callgraph.ref"})
+	wantEdges(t, "methodValue.Refs", edgeNames(mv.Refs),
+		[]string{"callgraph.(*thing).M", "callgraph.(thing).V", "callgraph.target"})
+
+	dc := node("callgraph.deferredClosure")
+	wantEdges(t, "deferredClosure.Calls", edgeNames(dc.Calls),
+		[]string{"callgraph.refs", "callgraph.target"})
+	wantEdges(t, "deferredClosure.Refs", edgeNames(dc.Refs), []string{"callgraph.other"})
+
+	dyn := node("callgraph.dynamic")
+	wantEdges(t, "dynamic.Calls", edgeNames(dyn.Calls), nil)
+	wantEdges(t, "dynamic.Refs", edgeNames(dyn.Refs), nil)
+
+	cnr := node("callgraph.calledNotReferenced")
+	wantEdges(t, "calledNotReferenced.Calls", edgeNames(cnr.Calls), []string{"callgraph.target"})
+	wantEdges(t, "calledNotReferenced.Refs", edgeNames(cnr.Refs), nil)
+}
+
+// TestCallGraphRefsDeterministic pins reference-edge order across
+// rebuilds, the property allocguard's BFS seed order rests on.
+func TestCallGraphRefsDeterministic(t *testing.T) {
+	refs := func() []string {
+		prog := buildEdgeFixtureProgram(t)
+		var out []string
+		for _, n := range prog.Nodes() {
+			for _, e := range n.Refs {
+				out = append(out, n.DisplayName()+"->"+e.Callee.DisplayName())
+			}
+		}
+		return out
+	}
+	a, b := refs(), refs()
+	if len(a) == 0 {
+		t.Fatal("fixture produced no reference edges")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ref edge order differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the intraprocedural dataflow layer the module-wide
+// allocation and lock-order analyzers build on: per-function def-use
+// chains, value provenance, and a conservative escape lattice — all
+// computed over go/ast + go/types with no SSA form, consistent with the
+// suite's stdlib-only rule.
+//
+// The lattice is deliberately three-valued and monotone:
+//
+//	EscNone < EscArg < EscHeap
+//
+// EscNone values never leave the frame (safe to stack-allocate), EscArg
+// values flow into a call (the callee may retain them), and EscHeap
+// values observably outlive the frame (returned, stored through a
+// pointer/field/map/slice, sent on a channel, or captured by a closure).
+// Joins only move up the lattice, so one forward pass plus an alias
+// worklist reaches the fixed point.
+
+// hotPathMarker is the annotation that roots the allocguard analysis: a
+// doc-comment line beginning "//lmvet:hotpath" declares the function —
+// and everything statically reachable from it — allocation-free.
+const hotPathMarker = "lmvet:hotpath"
+
+// HasHotPathDirective reports whether the declaration's doc comment
+// carries an //lmvet:hotpath line.
+func HasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// EscapeClass is the escape lattice.
+type EscapeClass uint8
+
+const (
+	// EscNone: the value provably stays within the frame.
+	EscNone EscapeClass = iota
+	// EscArg: the value flows into a call and may be retained.
+	EscArg
+	// EscHeap: the value outlives the frame.
+	EscHeap
+)
+
+// String renders the class for diagnostics and tests.
+func (e EscapeClass) String() string {
+	switch e {
+	case EscNone:
+		return "none"
+	case EscArg:
+		return "arg"
+	default:
+		return "heap"
+	}
+}
+
+// Provenance classifies where a variable's value comes from, resolved
+// through this function's def chain only.
+type Provenance uint8
+
+const (
+	// ProvUnknown: no single classifiable definition.
+	ProvUnknown Provenance = iota
+	// ProvParam: the variable is (or aliases) a parameter — storage the
+	// caller owns.
+	ProvParam
+	// ProvMakeCap: make([]T, ..., n) with an explicit capacity — the
+	// author sized the buffer.
+	ProvMakeCap
+	// ProvMakeNoCap: make with no capacity argument.
+	ProvMakeNoCap
+	// ProvReslice: a reslice such as buf[:0] — reuse of existing storage.
+	ProvReslice
+	// ProvComposite: a composite literal.
+	ProvComposite
+	// ProvCall: the result of some call.
+	ProvCall
+)
+
+// String renders the provenance for diagnostics and tests.
+func (p Provenance) String() string {
+	switch p {
+	case ProvParam:
+		return "param"
+	case ProvMakeCap:
+		return "make(cap)"
+	case ProvMakeNoCap:
+		return "make"
+	case ProvReslice:
+		return "reslice"
+	case ProvComposite:
+		return "composite"
+	case ProvCall:
+		return "call"
+	default:
+		return "unknown"
+	}
+}
+
+// FuncFlow is the dataflow summary of one function body: definitions,
+// uses, provenance, and the escape class of every pointer-like local.
+type FuncFlow struct {
+	info *types.Info
+
+	// defs maps each local variable to the expressions assigned to it,
+	// in source order (the def half of the def-use chains).
+	defs map[*types.Var][]ast.Expr
+	// uses maps each local variable to the identifiers that read it (the
+	// use half of the def-use chains).
+	uses map[*types.Var][]*ast.Ident
+	// escape is the computed escape class per variable; absent means
+	// EscNone.
+	escape map[*types.Var]EscapeClass
+	// params holds the function's parameters (and receiver).
+	params map[*types.Var]bool
+}
+
+// Escape returns v's computed escape class.
+func (f *FuncFlow) Escape(v *types.Var) EscapeClass { return f.escape[v] }
+
+// Defs returns the expressions assigned to v, in source order.
+func (f *FuncFlow) Defs(v *types.Var) []ast.Expr { return f.defs[v] }
+
+// Uses returns the identifiers reading v, in source order.
+func (f *FuncFlow) Uses(v *types.Var) []*ast.Ident { return f.uses[v] }
+
+// IsParam reports whether v is a parameter or the receiver.
+func (f *FuncFlow) IsParam(v *types.Var) bool { return f.params[v] }
+
+// pointerLike reports whether values of type t carry a reference to
+// storage (so escaping matters): pointers, slices, maps, channels,
+// functions, interfaces, and composites containing them.
+func pointerLike(t types.Type) bool {
+	return pointerLikeRec(t, make(map[types.Type]bool))
+}
+
+func pointerLikeRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.String
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointerLikeRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return pointerLikeRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// pointerShaped reports whether a value of type t is represented as a
+// single pointer word, so storing it into an interface boxes nothing:
+// pointers, channels, maps, functions, and unsafe.Pointer. Interfaces
+// convert to interfaces without allocating either.
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// BuildFuncFlow computes the dataflow summary of fd's body.
+func BuildFuncFlow(info *types.Info, fd *ast.FuncDecl) *FuncFlow {
+	f := &FuncFlow{
+		info:   info,
+		defs:   make(map[*types.Var][]ast.Expr),
+		uses:   make(map[*types.Var][]*ast.Ident),
+		escape: make(map[*types.Var]EscapeClass),
+		params: make(map[*types.Var]bool),
+	}
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig := obj.Type().(*types.Signature)
+		if r := sig.Recv(); r != nil {
+			f.params[r] = true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			f.params[sig.Params().At(i)] = true
+		}
+	}
+	if fd.Body == nil {
+		return f
+	}
+	f.collect(fd.Body)
+	f.propagateAliases()
+	return f
+}
+
+// localVar resolves an expression to the local variable it reads, nil
+// otherwise.
+func (f *FuncFlow) localVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := f.info.ObjectOf(id).(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+		return v
+	}
+	return nil
+}
+
+// raise joins v's escape class up the lattice.
+func (f *FuncFlow) raise(v *types.Var, c EscapeClass) {
+	if v == nil {
+		return
+	}
+	if c > f.escape[v] {
+		f.escape[v] = c
+	}
+}
+
+// escapeExpr marks every local variable read by e with class c. It looks
+// through unary &, reslices, and parens — the forms that keep the same
+// backing storage visible.
+func (f *FuncFlow) escapeExpr(e ast.Expr, c EscapeClass) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f.raise(f.localVar(e), c)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			f.escapeExpr(e.X, c)
+		}
+	case *ast.SliceExpr:
+		f.escapeExpr(e.X, c)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			f.escapeExpr(el, c)
+		}
+	}
+}
+
+// collect performs the single forward pass: record defs and uses, and
+// seed escape classes at every sink.
+func (f *FuncFlow) collect(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if v := f.localVar(lhs); v != nil && len(n.Rhs) == len(n.Lhs) {
+					if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						// A store into a package-level variable publishes
+						// the RHS beyond the frame.
+						f.escapeExpr(n.Rhs[i], EscHeap)
+					} else {
+						f.defs[v] = append(f.defs[v], n.Rhs[i])
+					}
+				}
+				// A store through a field, index, or dereference
+				// publishes the RHS beyond the frame.
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if len(n.Rhs) == len(n.Lhs) {
+						f.escapeExpr(n.Rhs[i], EscHeap)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if v, ok := f.info.Defs[name].(*types.Var); ok && i < len(n.Values) {
+					f.defs[v] = append(f.defs[v], n.Values[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				f.escapeExpr(r, EscHeap)
+			}
+		case *ast.SendStmt:
+			f.escapeExpr(n.Value, EscHeap)
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				f.escapeExpr(arg, EscArg)
+			}
+		case *ast.FuncLit:
+			// Free variables captured by a closure may outlive the frame
+			// whenever the closure does; without tracking the closure
+			// itself, the conservative answer is heap.
+			f.captures(n)
+		case *ast.Ident:
+			if v, ok := f.info.Uses[n].(*types.Var); ok && !v.IsField() {
+				f.uses[v] = append(f.uses[v], n)
+			}
+		}
+		return true
+	})
+}
+
+// captures raises every free variable of the closure to EscHeap.
+func (f *FuncFlow) captures(lit *ast.FuncLit) {
+	declared := make(map[*types.Var]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Defs[id].(*types.Var); ok {
+				declared[v] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Uses[id].(*types.Var); ok && !v.IsField() && !declared[v] {
+				f.raise(v, EscHeap)
+			}
+		}
+		return true
+	})
+}
+
+// propagateAliases closes escape over direct aliases (y := x): if y
+// escapes, so does x. A small worklist suffices — alias chains are
+// shallow and the lattice has height two.
+func (f *FuncFlow) propagateAliases() {
+	for changed := true; changed; {
+		changed = false
+		for v, rhss := range f.defs {
+			c := f.escape[v]
+			if c == EscNone {
+				continue
+			}
+			for _, rhs := range rhss {
+				if src := f.localVar(rhs); src != nil && f.escape[src] < c {
+					f.escape[src] = c
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ProvenanceOf resolves the provenance of expression e: literal forms
+// classify directly, identifiers resolve through the def chain (joining
+// over multiple defs — conflicting defs degrade to ProvUnknown).
+func (f *FuncFlow) ProvenanceOf(e ast.Expr) Provenance {
+	return f.provenanceOf(e, make(map[*types.Var]bool))
+}
+
+// isBuiltin reports whether id resolves to a universe builtin (append,
+// make, new, ...) rather than a declared function shadowing the name.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (f *FuncFlow) provenanceOf(e ast.Expr, seen map[*types.Var]bool) Provenance {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if isBuiltin(f.info, id) {
+				if len(e.Args) >= 3 {
+					return ProvMakeCap
+				}
+				return ProvMakeNoCap
+			}
+		}
+		return ProvCall
+	case *ast.SliceExpr:
+		return ProvReslice
+	case *ast.CompositeLit:
+		return ProvComposite
+	case *ast.Ident:
+		v := f.localVar(e)
+		if v == nil {
+			return ProvUnknown
+		}
+		if f.params[v] {
+			return ProvParam
+		}
+		if seen[v] {
+			return ProvUnknown
+		}
+		seen[v] = true
+		prov := Provenance(0xff) // sentinel: nothing joined yet
+		for _, rhs := range f.defs[v] {
+			p := f.provenanceOf(rhs, seen)
+			if p == ProvCall && isSelfAppend(f.info, rhs, v) {
+				continue // x = append(x, ...) keeps x's own provenance
+			}
+			if prov == 0xff {
+				prov = p
+			} else if prov != p {
+				return ProvUnknown
+			}
+		}
+		if prov == 0xff {
+			return ProvUnknown
+		}
+		return prov
+	}
+	return ProvUnknown
+}
+
+// isSelfAppend reports whether rhs is append(v, ...) — the idiomatic
+// grow-in-place reassignment, which should not disturb v's provenance.
+func isSelfAppend(info *types.Info, rhs ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || !isBuiltin(info, id) {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.ObjectOf(first) == v
+}

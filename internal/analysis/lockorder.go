@@ -1,0 +1,591 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds a lock-acquisition-order graph across every
+// sync.Mutex/sync.RWMutex class in the module — the engine's striped
+// shard locks, the telemetry registry mutex, the monitor's printer lock
+// — and reports two defect classes:
+//
+//   - a cycle in the order graph: two call paths that acquire the same
+//     locks in opposite orders can deadlock under concurrency even
+//     though every individual path is correct;
+//   - a telemetry call (histogram observation, timer, registry
+//     get-or-create) made while a hot-path lock is held, outside the
+//     sampled-tick pattern (`if sampled { ... }`) the engine uses to
+//     keep instrumentation off the per-observation critical section.
+//     Counter and Gauge operations are exempt — they are single atomic
+//     adds.
+//
+// Lock classes are keyed structurally, (package, type, field) for field
+// mutexes and (package, var) for package-level ones, so every instance
+// of a striped lock (each engine shard) is one class. Edges come from
+// three sources: a lock acquired while another is held in the same
+// body, a call made while a lock is held (the callee's transitive
+// acquire set), and callbacks invoked under a lock — a function value
+// passed to a callee that acquires L induces L → acquires(callback),
+// which is how the registry's GaugeFunc snapshot evaluation and the
+// printer's Block are modelled despite being dynamic calls.
+//
+// The TryLock-then-Lock contention idiom (`if !mu.TryLock() { ...;
+// mu.Lock() }`) is recognised: the failed TryLock does not hold the
+// lock inside the if body, so the contention counter there is not "under
+// the lock".
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "builds the lock-acquisition-order graph (shard stripes, registry, printer) and reports cycles and unsampled telemetry under hot locks",
+	RunModule: runLockOrder,
+}
+
+// lockEvent is one position-ordered occurrence inside a function body.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // evAcquire, evRelease, evCall, evTelemetry
+	// class is the lock class for acquire/release.
+	class string
+	// callee is the static callee for evCall.
+	callee *FuncNode
+	// callbacks are function-valued arguments at an evCall site.
+	callbacks []ast.Expr
+	// desc names the telemetry call for evTelemetry.
+	desc string
+	// guarded marks events inside an `if sampled { ... }` block.
+	guarded bool
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+	evTelemetry
+)
+
+// lockedge is one order edge with its witness position.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(mp *ModulePass) error {
+	prog := mp.Prog
+	lo := &lockOrder{
+		prog:     prog,
+		acquires: make(map[*FuncNode]map[string]bool),
+		visiting: make(map[*FuncNode]bool),
+		edges:    make(map[[2]string]token.Pos),
+	}
+
+	for _, node := range prog.Nodes() {
+		lo.scanFunction(mp, node)
+	}
+
+	lo.reportCycles(mp)
+	return nil
+}
+
+// lockOrder carries the module-wide analysis state.
+type lockOrder struct {
+	prog *Program
+	// acquires memoises the transitive may-acquire set per function.
+	acquires map[*FuncNode]map[string]bool
+	visiting map[*FuncNode]bool
+	// edges maps (from, to) to the first witness position.
+	edges map[[2]string]token.Pos
+}
+
+// addEdge records an order edge, keeping the first witness and skipping
+// self-edges (re-acquiring the same class is the TryLock idiom, not an
+// order violation this analyzer models).
+func (lo *lockOrder) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	k := [2]string{from, to}
+	if _, ok := lo.edges[k]; !ok {
+		lo.edges[k] = pos
+	}
+}
+
+// scanFunction simulates node's body as a position-ordered event
+// sequence, emitting order edges and telemetry-under-lock findings.
+func (lo *lockOrder) scanFunction(mp *ModulePass, node *FuncNode) {
+	events := lo.collectLockEvents(node, false)
+	if len(events) == 0 {
+		return
+	}
+	var held []string
+	holding := func(c string) bool {
+		for _, h := range held {
+			if h == c {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evAcquire:
+			if holding(ev.class) {
+				continue
+			}
+			for _, h := range held {
+				lo.addEdge(h, ev.class, ev.pos)
+			}
+			held = append(held, ev.class)
+		case evRelease:
+			for i, h := range held {
+				if h == ev.class {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case evCall:
+			if len(held) > 0 && ev.callee != nil {
+				for c := range lo.funcAcquires(ev.callee) {
+					for _, h := range held {
+						lo.addEdge(h, c, ev.pos)
+					}
+				}
+			}
+			// Callback-under-lock: a function value handed to a callee
+			// that acquires L runs (possibly later) with L held.
+			if ev.callee != nil && len(ev.callbacks) > 0 {
+				calleeLocks := lo.funcAcquires(ev.callee)
+				if len(calleeLocks) > 0 {
+					for _, cb := range ev.callbacks {
+						for a := range lo.exprAcquires(node, cb) {
+							for l := range calleeLocks {
+								lo.addEdge(l, a, ev.pos)
+							}
+						}
+					}
+				}
+			}
+		case evTelemetry:
+			if ev.guarded {
+				continue
+			}
+			for _, h := range held {
+				if hotLockClass(mp.Cfg, h) && mp.requested(node.Pkg) {
+					mp.Reportf(ev.pos,
+						"telemetry call %s under hot lock %s outside the sampled-tick guard; wrap in `if sampled { ... }` or move it off the critical section",
+						ev.desc, h)
+					break
+				}
+			}
+		}
+	}
+}
+
+// hotLockClass reports whether class matches the configured hot-path
+// lock set (substring match, like analyzer scoping).
+func hotLockClass(cfg Config, class string) bool {
+	for _, s := range cfg.HotPathLocks {
+		if strings.Contains(class, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAcquires returns the transitive set of lock classes node may
+// acquire: direct acquires anywhere in its body (function literals
+// included — a closure may run with its creator's locks live) plus its
+// static callees'. Cycles in the call graph are cut by the visiting set.
+func (lo *lockOrder) funcAcquires(node *FuncNode) map[string]bool {
+	if s, ok := lo.acquires[node]; ok {
+		return s
+	}
+	if lo.visiting[node] {
+		return nil
+	}
+	lo.visiting[node] = true
+	defer delete(lo.visiting, node)
+
+	out := make(map[string]bool)
+	for _, ev := range lo.collectLockEvents(node, true) {
+		if ev.kind == evAcquire {
+			out[ev.class] = true
+		}
+	}
+	for _, e := range node.Calls {
+		for c := range lo.funcAcquires(e.Callee) {
+			out[c] = true
+		}
+	}
+	lo.acquires[node] = out
+	return out
+}
+
+// exprAcquires resolves the may-acquire set of a function-valued
+// expression: a literal's body (direct acquires plus its static
+// callees'), or a referenced function/method's transitive set.
+func (lo *lockOrder) exprAcquires(node *FuncNode, e ast.Expr) map[string]bool {
+	info := node.Pkg.Info
+	out := make(map[string]bool)
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		for _, ev := range lo.collectEventsIn(node, e.Body, true) {
+			if ev.kind == evAcquire {
+				out[ev.class] = true
+			}
+		}
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := StaticCallee(info, call); fn != nil {
+					if callee, ok := lo.prog.Funcs[fn]; ok {
+						for c := range lo.funcAcquires(callee) {
+							out[c] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	default:
+		if fn := funcValueOf(info, e); fn != nil {
+			if callee, ok := lo.prog.Funcs[fn]; ok {
+				for c := range lo.funcAcquires(callee) {
+					out[c] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcValueOf resolves a function-typed value expression (method value,
+// named function reference) to its object.
+func funcValueOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// collectLockEvents gathers node's events in position order.
+// includeLits also descends into function literals (for may-acquire
+// sets); the linear simulation excludes them, since a literal's body
+// runs at an unknown time.
+func (lo *lockOrder) collectLockEvents(node *FuncNode, includeLits bool) []lockEvent {
+	return lo.collectEventsIn(node, node.Decl.Body, includeLits)
+}
+
+func (lo *lockOrder) collectEventsIn(node *FuncNode, body ast.Node, includeLits bool) []lockEvent {
+	info := node.Pkg.Info
+	var events []lockEvent
+
+	// Pre-pass: the body ranges of `if sampled { ... }` guards.
+	type posRange struct{ lo, hi token.Pos }
+	var guards []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			if id, ok := ast.Unparen(ifs.Cond).(*ast.Ident); ok && id.Name == "sampled" {
+				guards = append(guards, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			}
+		}
+		return true
+	})
+	guarded := func(p token.Pos) bool {
+		for _, g := range guards {
+			if g.lo <= p && p < g.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// negTryLock matches `if !x.TryLock() { ... }`: the acquire takes
+	// effect after the if statement, not inside its body.
+	negTry := make(map[*ast.CallExpr]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		un, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr)
+		if !ok || un.Op != token.NOT {
+			return true
+		}
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); ok {
+			if _, name, ok := lockMethod(info, call); ok && strings.HasPrefix(name, "Try") {
+				negTry[call] = ifs.End()
+			}
+		}
+		return true
+	})
+
+	var deferred = make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return includeLits
+		case *ast.CallExpr:
+			if class, name, ok := lockMethod(info, n); ok {
+				switch name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					pos := n.Pos()
+					if p, neg := negTry[n]; neg {
+						pos = p
+					}
+					events = append(events, lockEvent{pos: pos, kind: evAcquire, class: class})
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						events = append(events, lockEvent{pos: n.Pos(), kind: evRelease, class: class})
+					}
+				}
+				return true
+			}
+			if desc, ok := telemetryCall(info, n); ok {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evTelemetry, desc: desc, guarded: guarded(n.Pos())})
+			}
+			var callee *FuncNode
+			if fn := StaticCallee(info, n); fn != nil {
+				callee = lo.prog.Funcs[fn]
+			}
+			var cbs []ast.Expr
+			for _, arg := range n.Args {
+				if isFuncValued(info, arg) {
+					cbs = append(cbs, arg)
+				}
+			}
+			if callee != nil || len(cbs) > 0 {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evCall, callee: callee, callbacks: cbs})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// isFuncValued reports whether arg is a function literal, a method
+// value, or a named function reference.
+func isFuncValued(info *types.Info, arg ast.Expr) bool {
+	if _, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+		return true
+	}
+	return funcValueOf(info, arg) != nil
+}
+
+// lockMethod matches a call to a sync.Mutex / sync.RWMutex method and
+// returns the receiver's lock class and the method name.
+func lockMethod(info *types.Info, call *ast.CallExpr) (class, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection == nil {
+		return "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rn := recvTypeName(recv.Type())
+	if rn != "Mutex" && rn != "RWMutex" {
+		return "", "", false
+	}
+	return lockClassOf(info, sel.X), fn.Name(), true
+}
+
+// lockClassOf derives the structural class name of a lock expression:
+// "pkg.Type.field" for field mutexes, "pkg.var" for package-level vars,
+// and a typed fallback otherwise.
+func lockClassOf(info *types.Info, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// owner.field — key by the owner's named type.
+		field := x.Sel.Name
+		t := typeOf(info, x.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + field
+		}
+		return "?." + field
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			return v.Pkg().Name() + ".(local)." + v.Name()
+		}
+	}
+	// Embedded mutex: pkg.Type itself.
+	t := typeOf(info, x)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+	}
+	return "?"
+}
+
+// telemetryCall matches method calls into the telemetry package whose
+// receivers are not the lock-free atomic kinds: Histogram observations,
+// Timer start/stop, and Registry get-or-create all do work (CAS loops,
+// wall-clock reads, map lookups under the registry mutex) that belongs
+// outside a hot critical section unless sampled.
+func telemetryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection == nil {
+		return "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != "telemetry" && !strings.HasSuffix(path, "/telemetry") {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	switch recvTypeName(recv.Type()) {
+	case "Histogram", "Timer", "Registry":
+		return recvTypeName(recv.Type()) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// reportCycles finds strongly connected components of the order graph
+// and reports each cycle once, with the witness positions of its edges.
+func (lo *lockOrder) reportCycles(mp *ModulePass) {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range lo.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's SCC, deterministic by sorted roots and neighbours.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		// Render the cycle as the sorted class ring and list each
+		// intra-SCC edge with its witness position.
+		inSCC := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		var parts []string
+		var first token.Pos
+		var keys [][2]string
+		for k := range lo.edges {
+			if inSCC[k[0]] && inSCC[k[1]] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			pos := lo.edges[k]
+			p := lo.prog.Fset.Position(pos)
+			parts = append(parts, fmt.Sprintf("%s → %s at %s:%d", k[0], k[1], filepath.Base(p.Filename), p.Line))
+			if first == token.NoPos {
+				first = pos
+			}
+		}
+		mp.Reportf(first, "lock order cycle between %s (potential deadlock): %s; acquire these locks in one global order",
+			strings.Join(scc, ", "), strings.Join(parts, "; "))
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	// TaintSinks are the import-path substrings whose exported entry
 	// points the dettaint analyzer treats as sinks.
 	TaintSinks []string
+	// HotPathLocks are lock-class substrings (see lockorder's structural
+	// "pkg.Type.field" naming) treated as hot-path critical sections:
+	// telemetry calls while one is held must sit inside the sampled-tick
+	// guard.
+	HotPathLocks []string
 }
 
 // DefaultConfig returns the repo's lmvet policy: every analyzer on,
@@ -56,6 +61,9 @@ func DefaultConfig() Config {
 			"internal/scenario",
 			"internal/dsp",
 			"internal/experiments",
+		},
+		HotPathLocks: []string{
+			"engine.shard.mu",
 		},
 	}
 }

@@ -1,0 +1,11 @@
+// Package dep is the allocguard fixture's dependency package: its
+// functions join the hot set across the package boundary, and findings
+// here carry the cross-package witness chain.
+package dep
+
+var sink any
+
+// Note is reached from the fixture root in the parent package.
+func Note(n int) {
+	sink = n // want "allocguard.Ingest ← dep.Note" want "boxes int into"
+}

@@ -1,0 +1,144 @@
+// Package allocguard is the golden fixture for the allocguard analyzer:
+// //lmvet:hotpath roots whose statically reachable set — through call
+// edges and function-value references alike — must stay allocation-free.
+// The "want" comments assert the witness-chain diagnostics.
+package allocguard
+
+import "github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/allocguard/dep"
+
+// sink and global give escape sinks the fixture can publish into.
+var sink any
+
+type state struct{ n int }
+
+var global *state
+
+// Ingest is an annotated root; the analyzer follows its static calls
+// (record, dep.Note) and its function-value references (helperValue).
+//
+//lmvet:hotpath
+func Ingest(vs []int, buf []int) []int {
+	for _, v := range vs {
+		buf = append(buf, v) // want "append beyond provable capacity"
+	}
+	record(vs[0])
+	dep.Note(len(vs))
+	h := helperValue
+	_ = h
+	return buf
+}
+
+// record is hot by reachability; boxing a concrete int into the
+// interface sink allocates.
+func record(v int) {
+	sink = v // want "allocguard.Ingest ← allocguard.record" want "boxes int into"
+}
+
+// helperValue is never called from the hot set, only referenced as a
+// value in Ingest; the Refs edge still pulls it in.
+func helperValue() {
+	m := map[string]int{} // want "allocguard.Ingest ← allocguard.helperValue" want "map literal allocates"
+	_ = m
+}
+
+// Clean is annotated and must stay silent: the reslice provenance of
+// buf covers the self-append, and summing borrows nothing.
+//
+//lmvet:hotpath
+func Clean(vs []int, scratch []int) int {
+	buf := scratch[:0]
+	for _, v := range vs {
+		buf = append(buf, v)
+	}
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// Sized demonstrates the capacity-provenance rule: the make itself is an
+// allocation site, but appends within the reserved capacity are not.
+//
+//lmvet:hotpath
+func Sized(n int) int {
+	buf := make([]int, 0, 8) // want "make([]int) allocates"
+	for i := 0; i < n && i < 8; i++ {
+		buf = append(buf, i)
+	}
+	return len(buf)
+}
+
+// Closures: a capture-free literal is hoistable and silent; a capturing
+// one materialises a closure object.
+//
+//lmvet:hotpath
+func Closures(n int) func() int {
+	f := func() int { return 42 }
+	g := func() int { return n } // want "closure capturing n allocates"
+	_ = f
+	return g
+}
+
+func describe(args ...any) int { return len(args) }
+
+// Convert: variadic materialisation, per-argument boxing, and the
+// []byte→string copy.
+//
+//lmvet:hotpath
+func Convert(bs []byte, n int) string {
+	describe(n)       // want "boxes int into" want "variadic call allocates"
+	return string(bs) // want "[]byte→string conversion allocates"
+}
+
+// Spread passes an existing slice through; no new backing array, no
+// per-element boxing.
+//
+//lmvet:hotpath
+func Spread(args []any) int {
+	return describe(args...)
+}
+
+// Escapes publishes the literal's address into a package-level var, so
+// the escape lattice answers heap.
+//
+//lmvet:hotpath
+func Escapes(n int) {
+	s := &state{n: n} // want "escaping &composite literal allocates"
+	global = s
+}
+
+// StaysLocal keeps the literal's address within the frame: provably
+// stack-allocatable, silent.
+//
+//lmvet:hotpath
+func StaysLocal(n int) int {
+	s := &state{n: n}
+	s.n++
+	return s.n
+}
+
+// Suppressed demonstrates that inline suppressions silence hot-path
+// findings through the shared lmvet:ignore machinery.
+//
+//lmvet:hotpath
+func Suppressed() {
+	//lmvet:ignore allocguard fixture demonstration of an accepted amortised allocation
+	sink = 1
+}
+
+type noter interface{ Note() }
+
+// Dynamic pins the deliberate under-approximation: an interface-method
+// call has no static callee, so nothing past it joins the hot set.
+//
+//lmvet:hotpath
+func Dynamic(n noter) {
+	n.Note()
+}
+
+// coldAlloc is unreachable from every annotated root and may allocate
+// freely.
+func coldAlloc() []int {
+	return append([]int{}, 1, 2, 3)
+}

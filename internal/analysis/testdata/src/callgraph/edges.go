@@ -1,0 +1,68 @@
+// Package callgraph is the golden fixture for the call graph's edge
+// semantics: which constructs produce call edges, which produce
+// reference edges, and which deliberately produce neither. The
+// edge-set assertions live in callgraph_edge_test.go.
+package callgraph
+
+// target and friends are the edge destinations.
+func target()        {}
+func other()         {}
+func ref(fn func())  { fn() }
+func refs(fn func()) { fn() }
+
+type thing struct{ n int }
+
+// M is resolved both as a direct method call and as a method value.
+func (t *thing) M() { t.n++ }
+
+// V is a value-receiver method taken as a method value.
+func (t thing) V() int { return t.n }
+
+type doer interface{ Do() }
+
+// impl satisfies doer; Do must gain no edge from dynamic dispatch.
+type impl struct{}
+
+func (impl) Do() {}
+
+// direct calls produce call edges: function, method, and a call inside
+// a deferred closure (attributed to the enclosing declaration).
+func direct(t *thing) {
+	target()
+	t.M()
+	defer func() {
+		other()
+	}()
+}
+
+// methodValue takes t.M and len-style function idents as values:
+// reference edges, not call edges.
+func methodValue(t *thing) {
+	ref(t.M)
+	f := target
+	_ = f
+	v := t.V
+	_ = v
+}
+
+// deferredClosure defers a capturing closure whose body calls target:
+// still a call edge from deferredClosure, plus a reference edge for the
+// function value handed to refs.
+func deferredClosure() {
+	defer func() {
+		target()
+	}()
+	refs(other)
+}
+
+// dynamic calls through an interface produce no edge at all: the callee
+// set is unknowable statically and the graph under-approximates.
+func dynamic(d doer) {
+	d.Do()
+}
+
+// calledNotReferenced pins the exclusion rule: a call's callee
+// expression is not double-counted as a reference.
+func calledNotReferenced() {
+	target()
+}

@@ -1,0 +1,148 @@
+// Package locks is the golden fixture for the lockorder analyzer: lock
+// classes are keyed structurally (locks.alpha.mu, locks.shard.mu), so
+// every instance of a type's mutex is one graph node. The fixture pins
+// one direct cycle, one cycle closed through a callback run under a
+// lock, the TryLock contention idiom, and the sampled-tick telemetry
+// contract on the hot shard lock.
+package locks
+
+import (
+	"sync"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/lockorder/telemetry"
+)
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+type epsilon struct{ mu sync.Mutex }
+
+var (
+	va alpha
+	vb beta
+	vg gamma
+	vd delta
+	ve epsilon
+)
+
+// lockAB acquires alpha then beta; together with lockBA's reversed
+// order this closes the fixture's direct deadlock cycle. The report
+// lands on the first edge's witness site.
+func lockAB() {
+	va.mu.Lock()
+	vb.mu.Lock() // want "lock order cycle between locks.alpha.mu, locks.beta.mu"
+	vb.mu.Unlock()
+	va.mu.Unlock()
+}
+
+// lockBA is the opposing path of the cycle.
+func lockBA() {
+	vb.mu.Lock()
+	va.mu.Lock()
+	va.mu.Unlock()
+	vb.mu.Unlock()
+}
+
+// lockGamma acquires gamma on behalf of callers.
+func lockGamma() {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+}
+
+// callUnder holds alpha across a call into lockGamma: the interprocedural
+// edge alpha → gamma is recorded but stays acyclic, so no finding.
+func callUnder() {
+	va.mu.Lock()
+	defer va.mu.Unlock()
+	lockGamma()
+}
+
+// withDelta runs fn with delta held — the registry GaugeFunc /
+// printer.Block shape. The callback's acquires happen under delta even
+// though the call through fn is dynamic.
+func withDelta(fn func()) {
+	vd.mu.Lock()
+	defer vd.mu.Unlock()
+	fn()
+}
+
+// callbackUnder contributes the delta → epsilon edge through the
+// callback; lockED's epsilon → delta closes the second cycle.
+func callbackUnder() {
+	withDelta(func() { // want "lock order cycle between locks.delta.mu, locks.epsilon.mu"
+		ve.mu.Lock()
+		ve.mu.Unlock()
+	})
+}
+
+// lockED is the opposing path of the callback cycle.
+func lockED() {
+	ve.mu.Lock()
+	vd.mu.Lock()
+	vd.mu.Unlock()
+	ve.mu.Unlock()
+}
+
+type table struct{ mu sync.RWMutex }
+
+var vt table
+
+// readThenAlpha: read locks order like write locks; table → alpha stays
+// acyclic and silent.
+func readThenAlpha() int {
+	vt.mu.RLock()
+	va.mu.Lock()
+	va.mu.Unlock()
+	vt.mu.RUnlock()
+	return 0
+}
+
+// shard mirrors the engine's striped ingest lock; the test configures
+// HotPathLocks to {"locks.shard.mu"}.
+type shard struct {
+	mu       sync.Mutex
+	tick     int
+	n        int
+	lat      *telemetry.Histogram
+	ingested *telemetry.Counter
+}
+
+var sh shard
+
+var contention = &telemetry.Counter{}
+
+// observeBad times every observation under the shard lock — the
+// contract violation the analyzer exists to catch.
+func observeBad(v float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.n++
+	sh.lat.Observe(v) // want "telemetry call Histogram.Observe under hot lock locks.shard.mu"
+}
+
+// observeGood follows the engine's contract: the failed TryLock counts
+// contention while NOT holding the lock, atomic counters are exempt
+// anywhere, and histogram work sits behind the sampled-tick guard.
+func observeGood(v float64) {
+	if !sh.mu.TryLock() {
+		contention.Inc()
+		sh.mu.Lock()
+	}
+	defer sh.mu.Unlock()
+	sh.tick++
+	sampled := sh.tick&7 == 0
+	if sampled {
+		sh.lat.Observe(v)
+	}
+	sh.n++
+	sh.ingested.Inc()
+}
+
+// observeSuppressed shows an accepted amortised exception via the shared
+// lmvet:ignore machinery.
+func observeSuppressed(v float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lat.Observe(v) //lmvet:ignore lockorder fixture demonstration of an accepted amortised timing
+}

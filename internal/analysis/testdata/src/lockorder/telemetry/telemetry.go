@@ -1,0 +1,27 @@
+// Package telemetry mirrors the real registry's shape for the lockorder
+// fixture: Histogram observations and Timers are governed under hot
+// locks, Counters are single atomic adds and exempt.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a lock-free atomic counter.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Histogram records observations.
+type Histogram struct{ sum atomic.Int64 }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.sum.Add(int64(v)) }
+
+// Start begins a timed section.
+func (h *Histogram) Start() Timer { return Timer{h: h} }
+
+// Timer measures one section; Stop records it.
+type Timer struct{ h *Histogram }
+
+// Stop records the elapsed section.
+func (t Timer) Stop() { t.h.Observe(1) }

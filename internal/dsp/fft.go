@@ -87,14 +87,14 @@ type twiddleTables struct {
 var twiddleCache sync.Map // transform size -> *twiddleTables
 
 func twiddlesFor(n int) *twiddleTables {
-	if v, ok := twiddleCache.Load(n); ok {
+	if v, ok := twiddleCache.Load(n); ok { //lmvet:ignore allocguard sync.Map boxes the int key; one word per lookup is the price of the shared read-mostly cache
 		twiddleHits.Inc()
 		return v.(*twiddleTables)
 	}
 	twiddleMisses.Inc()
-	t := &twiddleTables{
-		fwd: make([]complex128, 0, n-1),
-		inv: make([]complex128, 0, n-1),
+	t := &twiddleTables{ //lmvet:ignore allocguard cache miss: tables are computed once per transform size, then shared
+		fwd: make([]complex128, 0, n-1), //lmvet:ignore allocguard once per transform size
+		inv: make([]complex128, 0, n-1), //lmvet:ignore allocguard once per transform size
 	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
@@ -103,11 +103,11 @@ func twiddlesFor(n int) *twiddleTables {
 		step := -1.0 * 2 * math.Pi / float64(size)
 		for k := 0; k < half; k++ {
 			w := cmplx.Rect(1, step*float64(k))
-			t.fwd = append(t.fwd, w)
-			t.inv = append(t.inv, cmplx.Conj(w))
+			t.fwd = append(t.fwd, w) //lmvet:ignore allocguard fills the exact capacity reserved above; field provenance is beyond the intraprocedural lattice
+			t.inv = append(t.inv, cmplx.Conj(w)) //lmvet:ignore allocguard fills the exact capacity reserved above
 		}
 	}
-	v, _ := twiddleCache.LoadOrStore(n, t)
+	v, _ := twiddleCache.LoadOrStore(n, t) //lmvet:ignore allocguard boxes the int key once per transform size
 	return v.(*twiddleTables)
 }
 

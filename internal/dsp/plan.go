@@ -38,12 +38,14 @@ func NewRealFFT(n int) *RealFFT {
 // Transform computes the full complex spectrum of x, which must have the
 // plan's length. The returned slice is internal storage: it is valid
 // until the next Transform on the same plan and must not be modified.
+//
+//lmvet:hotpath
 func (p *RealFFT) Transform(x []float64) ([]complex128, error) {
 	if p.n <= 0 {
 		return nil, ErrEmpty
 	}
 	if len(x) != p.n {
-		return nil, fmt.Errorf("dsp: plan is for length %d, got %d", p.n, len(x))
+		return nil, fmt.Errorf("dsp: plan is for length %d, got %d", p.n, len(x)) //lmvet:ignore allocguard length-mismatch error path, never taken by a well-formed caller
 	}
 	for i, v := range x {
 		p.cx[i] = complex(v, 0)

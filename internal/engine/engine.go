@@ -206,6 +206,13 @@ func (e *Engine) binKey(sec int64) int64 {
 // samples) for the given AS and probe at time t. It reports whether the
 // result was accepted; false means it fell beyond the lateness horizon
 // of a windowed engine and was dropped.
+//
+// This is the per-observation critical section: steady-state ingestion
+// must not allocate (allocguard enforces the contract statically,
+// BenchmarkMonitorObserve empirically), and telemetry under the shard
+// lock is either atomic counters or gated behind the 1-in-64 sample.
+//
+//lmvet:hotpath
 func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float64) bool {
 	ts := t.UnixNano()
 	for {
@@ -243,28 +250,28 @@ func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float6
 		// Amortised eviction: sweep only when the watermark entered a
 		// new bin since this shard's last sweep.
 		if nk := e.binKey(newest / int64(time.Second)); nk > sh.swept {
-			st := e.sweepSeconds.Start()
+			st := e.sweepSeconds.Start() //lmvet:ignore lockorder sweep timing runs once per bin width (30min), not per observation
 			e.evictShardLocked(sh, newest)
 			sh.swept = nk
-			st.Stop()
+			st.Stop() //lmvet:ignore lockorder amortised sweep path, 1 stop per bin width
 			e.sweeps.Inc()
 		}
 	}
 	aw := sh.ases[asn]
 	if aw == nil {
-		aw = &asWindow{probes: make(map[int]*probeWindow)}
+		aw = &asWindow{probes: make(map[int]*probeWindow)} //lmvet:ignore allocguard one window per newly seen AS, amortised to zero over steady-state ingestion
 		sh.ases[asn] = aw
 	}
 	pw := aw.probes[probeID]
 	if pw == nil {
-		pw = &probeWindow{bins: make(map[int64]*timeseries.IncrementalBin)}
+		pw = &probeWindow{bins: make(map[int64]*timeseries.IncrementalBin)} //lmvet:ignore allocguard one window per newly seen probe, amortised to zero
 		aw.probes[probeID] = pw
 		sh.probes++
 	}
 	key := e.binKey(t.Unix())
 	b := pw.bins[key]
 	if b == nil {
-		b = &timeseries.IncrementalBin{}
+		b = &timeseries.IncrementalBin{} //lmvet:ignore allocguard one bin per probe per 30-minute window, ~1 in 1800 observations
 		pw.bins[key] = b
 		sh.bins++
 	}
@@ -282,6 +289,8 @@ func (e *Engine) Observe(asn bgp.ASN, probeID int, t time.Time, samples []float6
 // window, along with emptied probes and ASes. Eviction never changes
 // results — out-of-window bins are already ignored by Signal — it only
 // bounds memory.
+//
+//lmvet:hotpath
 func (e *Engine) evictShardLocked(sh *shard, newestNano int64) {
 	horizon := (newestNano - int64(e.opts.Window) - int64(e.opts.MaxLateness)) / int64(time.Second)
 	for asn, aw := range sh.ases {

@@ -68,38 +68,51 @@ func FindSegment(r *traceroute.Result) (Segment, bool) {
 // Negative differences (reply reordering, noise) are kept; the per-bin
 // median downstream is the paper's noise filter.
 func PairwiseSamples(r *traceroute.Result, seg Segment) []float64 {
-	priv := usableRTTs(r, seg.PrivateHop, seg.PrivateAddr)
-	pub := usableRTTs(r, seg.PublicHop, seg.PublicAddr)
-	if len(priv) == 0 || len(pub) == 0 {
+	out := PairwiseSamplesInto(nil, r, seg)
+	if len(out) == 0 {
 		return nil
-	}
-	out := make([]float64, 0, len(priv)*len(pub))
-	for _, p := range pub {
-		for _, q := range priv {
-			out = append(out, p-q)
-		}
 	}
 	return out
 }
 
-// usableRTTs returns the finite RTTs of hop i restricted to replies from
-// addr, so that a hop with mixed responders (load-balanced paths) does not
-// blend RTTs of different routers into one estimate.
-func usableRTTs(r *traceroute.Result, i int, addr netip.Addr) []float64 {
-	if i < 0 || i >= len(r.Hops) {
-		return nil
+// PairwiseSamplesInto is PairwiseSamples appending into dst (pass a
+// reused scratch as dst[:0]), filtering replies in place rather than
+// materialising the per-hop RTT slices — the streaming monitor's
+// per-observation path runs through here and must not allocate. When the
+// segment has no usable reply pair on either side, dst is returned
+// unchanged.
+//
+//lmvet:hotpath
+func PairwiseSamplesInto(dst []float64, r *traceroute.Result, seg Segment) []float64 {
+	if seg.PrivateHop < 0 || seg.PrivateHop >= len(r.Hops) ||
+		seg.PublicHop < 0 || seg.PublicHop >= len(r.Hops) {
+		return dst
 	}
-	var out []float64
-	for _, rep := range r.Hops[i].Replies {
-		if rep.Timeout || rep.From != addr {
+	pub := r.Hops[seg.PublicHop].Replies
+	priv := r.Hops[seg.PrivateHop].Replies
+	for _, p := range pub {
+		if !usableRTT(p, seg.PublicAddr) {
 			continue
 		}
-		if math.IsNaN(rep.RTT) || math.IsInf(rep.RTT, 0) || rep.RTT <= 0 {
-			continue
+		for _, q := range priv {
+			if !usableRTT(q, seg.PrivateAddr) {
+				continue
+			}
+			dst = append(dst, p.RTT-q.RTT) //lmvet:ignore allocguard caller supplies pooled capacity; grows only until the scratch reaches the steady-state 9 samples
 		}
-		out = append(out, rep.RTT)
 	}
-	return out
+	return dst
+}
+
+// usableRTT reports whether one reply carries a finite positive RTT from
+// the expected responder, so that a hop with mixed responders
+// (load-balanced paths) does not blend RTTs of different routers into
+// one estimate.
+func usableRTT(rep traceroute.Reply, addr netip.Addr) bool {
+	if rep.Timeout || rep.From != addr {
+		return false
+	}
+	return !math.IsNaN(rep.RTT) && !math.IsInf(rep.RTT, 0) && rep.RTT > 0
 }
 
 // PairwiseFromRTTs returns the pairwise differences (public − private)
@@ -131,13 +144,27 @@ func PairwiseFromRTTsInto(dst, privRTTs, pubRTTs []float64) []float64 {
 // Estimate extracts the last-mile samples of r in one call. ok is false
 // when the traceroute carries no usable last-mile information.
 func Estimate(r *traceroute.Result) (samples []float64, seg Segment, ok bool) {
-	seg, ok = FindSegment(r)
+	samples, seg, ok = EstimateInto(nil, r)
 	if !ok {
 		return nil, Segment{}, false
 	}
-	samples = PairwiseSamples(r, seg)
-	if len(samples) == 0 {
-		return nil, Segment{}, false
+	return samples, seg, true
+}
+
+// EstimateInto is Estimate appending the samples into dst (pass a
+// reused scratch as dst[:0]). On ok == false the returned slice is dst
+// unchanged in length — callers keep it either way so grown capacity is
+// retained across observations.
+//
+//lmvet:hotpath
+func EstimateInto(dst []float64, r *traceroute.Result) (samples []float64, seg Segment, ok bool) {
+	seg, ok = FindSegment(r)
+	if !ok {
+		return dst, Segment{}, false
+	}
+	samples = PairwiseSamplesInto(dst, r, seg)
+	if len(samples) == len(dst) {
+		return samples, Segment{}, false
 	}
 	return samples, seg, true
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/last-mile-congestion/lastmile/internal/bgp"
@@ -133,19 +134,40 @@ func NewMonitor(opts Options) *Monitor {
 	}
 }
 
+// errNilResult is allocated once; Observe must not build error values
+// per call.
+var errNilResult = errors.New("stream: nil result")
+
+// observeScratch is the per-Observe reusable state: the pairwise-sample
+// slice grows to its steady-state 9 samples on first use and is then
+// recycled through observePool, keeping the ingest path allocation-free.
+type observeScratch struct {
+	samples []float64
+}
+
+var observePool = sync.Pool{
+	New: func() any { return &observeScratch{samples: make([]float64, 0, 16)} },
+}
+
 // Observe ingests one traceroute result for the given AS. Results without
 // a usable last-mile segment are ignored; results falling too far behind
 // the newest observation are dropped and counted.
+//
+//lmvet:hotpath
 func (m *Monitor) Observe(asn bgp.ASN, r *traceroute.Result) error {
 	if r == nil {
-		return errors.New("stream: nil result")
+		return errNilResult
 	}
-	samples, _, ok := lastmile.Estimate(r)
+	sc := observePool.Get().(*observeScratch)
+	samples, _, ok := lastmile.EstimateInto(sc.samples[:0], r)
+	sc.samples = samples
 	if !ok {
+		observePool.Put(sc)
 		m.ignored.Inc()
 		return nil
 	}
 	m.eng.Observe(asn, r.ProbeID, r.Timestamp, samples)
+	observePool.Put(sc)
 	return nil
 }
 

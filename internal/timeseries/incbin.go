@@ -28,6 +28,8 @@ type IncrementalBin struct {
 }
 
 // Add inserts one sample.
+//
+//lmvet:hotpath
 func (b *IncrementalBin) Add(v float64) {
 	if len(b.lo) == 0 || v <= b.lo[0] {
 		b.lo = heapPush(b.lo, v, lessMax)
@@ -48,6 +50,8 @@ func (b *IncrementalBin) Add(v float64) {
 
 // AddGroup inserts one measurement group (one traceroute's samples) and
 // increments the group count.
+//
+//lmvet:hotpath
 func (b *IncrementalBin) AddGroup(vs []float64) {
 	for _, v := range vs {
 		b.Add(v)
@@ -79,7 +83,7 @@ func lessMin(a, b float64) bool { return a < b }
 
 // heapPush appends v and sifts it up under the given ordering.
 func heapPush(h []float64, v float64, less func(a, b float64) bool) []float64 {
-	h = append(h, v)
+	h = append(h, v) //lmvet:ignore allocguard heap backing arrays grow by amortised doubling; steady-state inserts reuse capacity
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -52,4 +52,32 @@ go test -run '^$' -fuzz 'FuzzParseAtlasJSON' -fuzztime 5s ./internal/traceroute/
 echo "==> go test -bench (smoke, 1 iteration)"
 go test -run '^$' -bench . -benchtime 1x .
 
+# Hot-path gate, static half: the dataflow analyzers alone, promoted to
+# error severity, so an allocation or lock-order regression on an
+# annotated path fails the gate even if some future default demotes
+# either analyzer to warn.
+echo "==> lmvet hot-path gate (allocguard+lockorder at error severity)"
+go run ./cmd/lmvet \
+  -floatcmp=false -nanguard=false -detguard=false -dettaint=false \
+  -locksafe=false -errclose=false -poolsafe=false -metricsafe=false \
+  -severity allocguard=error,lockorder=error \
+  -baseline lmvet.baseline ./...
+
+# Hot-path gate, dynamic half: the ingest benchmark must report exactly
+# 0 allocs/op at every shard width. 200000 uncached iterations amortise
+# pool warm-up and window-map growth to steady state — the same
+# measurement scripts/bench.sh record checks into BENCH_engine.json.
+echo "==> zero-alloc ingest gate (BenchmarkMonitorObserve, 0 allocs/op)"
+go test -run '^$' -bench 'BenchmarkMonitorObserve' -benchmem -benchtime 200000x -count=1 . \
+  | tee /dev/stderr \
+  | awk '
+      /^Benchmark/ && /allocs\/op/ {
+        rows++
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op" && $(i-1) != "0") bad++
+      }
+      END {
+        if (rows == 0) { print "zero-alloc gate: no benchmark rows parsed" > "/dev/stderr"; exit 1 }
+        if (bad > 0)   { print "zero-alloc gate: " bad " row(s) allocate on the hot path" > "/dev/stderr"; exit 1 }
+      }'
+
 echo "==> all checks passed"
