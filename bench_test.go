@@ -9,6 +9,7 @@
 package lastmile_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -17,6 +18,8 @@ import (
 
 	lastmile "github.com/last-mile-congestion/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/experiments"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+	"github.com/last-mile-congestion/lastmile/internal/wire"
 )
 
 // workerCounts are the fan-out widths the parallel benches compare: the
@@ -330,5 +333,145 @@ func BenchmarkMonitorObserve(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// --- Ingest path (decode + replay) ---
+
+// ingestBenchData builds one day of traceroutes in every shape the
+// ingest benches need: individual Atlas JSON lines, the concatenated
+// JSONL archive, the binary wire archive, and the raw frame payloads.
+func ingestBenchData(b *testing.B) (lines [][]byte, jsonArchive, wireArchive []byte, payloads [][]byte) {
+	b.Helper()
+	var jsonBuf, wireBuf bytes.Buffer
+	jw := lastmile.NewResultWriter(&jsonBuf)
+	ww := lastmile.NewBinaryResultWriter(&wireBuf)
+	end := t0.Add(24 * time.Hour)
+	for ts := t0; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+		for probe := 1; probe <= 4; probe++ {
+			r := buildTrace(probe, ts, 2.0+float64(probe))
+			line, err := lastmile.MarshalAtlasResult(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines = append(lines, line)
+			payloads = append(payloads, wire.AppendResult(nil, 64500, r))
+			if err := jw.Write(r); err != nil {
+				b.Fatal(err)
+			}
+			if err := ww.WriteResult(64500, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := ww.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return lines, jsonBuf.Bytes(), wireBuf.Bytes(), payloads
+}
+
+func byteTotal(chunks [][]byte) int64 {
+	var n int64
+	for _, c := range chunks {
+		n += int64(len(c))
+	}
+	return n
+}
+
+// BenchmarkIngestDecodeJSONStdlib is the before picture: one op decodes
+// the day's results through encoding/json (the pre-rewrite ingest path).
+func BenchmarkIngestDecodeJSONStdlib(b *testing.B) {
+	lines, _, _, _ := ingestBenchData(b)
+	b.SetBytes(byteTotal(lines))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, line := range lines {
+			if _, err := lastmile.ParseAtlasResult(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkIngestDecodeJSON is the hand-rolled zero-alloc JSON parser
+// decoding into one reused Result — 0 allocs/op is gated by check.sh.
+func BenchmarkIngestDecodeJSON(b *testing.B) {
+	lines, _, _, _ := ingestBenchData(b)
+	b.SetBytes(byteTotal(lines))
+	b.ReportAllocs()
+	var r lastmile.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, line := range lines {
+			if err := traceroute.ParseAtlasInto(&r, line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkIngestDecodeWire is the binary frame decoder on the same
+// results — 0 allocs/op is gated by check.sh.
+func BenchmarkIngestDecodeWire(b *testing.B) {
+	_, _, _, payloads := ingestBenchData(b)
+	b.SetBytes(byteTotal(payloads))
+	b.ReportAllocs()
+	var r lastmile.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range payloads {
+			if _, err := wire.DecodeResultInto(&r, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkIngestReplayJSON replays the whole JSONL archive through the
+// auto-detecting public scanner, end to end.
+func BenchmarkIngestReplayJSON(b *testing.B) {
+	lines, jsonArchive, _, _ := ingestBenchData(b)
+	b.SetBytes(int64(len(jsonArchive)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := lastmile.NewResultScanner(bytes.NewReader(jsonArchive))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(lines) {
+			b.Fatalf("replayed %d of %d results", n, len(lines))
+		}
+	}
+}
+
+// BenchmarkIngestReplayWire replays the same campaign from the binary
+// archive — the MB/s headroom over BenchmarkIngestReplayJSON is what the
+// wire format buys (note the archive is also ~5x smaller).
+func BenchmarkIngestReplayWire(b *testing.B) {
+	lines, _, wireArchive, _ := ingestBenchData(b)
+	b.SetBytes(int64(len(wireArchive)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := lastmile.NewResultScanner(bytes.NewReader(wireArchive))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(lines) {
+			b.Fatalf("replayed %d of %d results", n, len(lines))
+		}
 	}
 }

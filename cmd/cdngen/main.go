@@ -1,9 +1,12 @@
-// Command cdngen generates synthetic CDN access logs (CSV) for the Tokyo
+// Command cdngen generates synthetic CDN access logs for the Tokyo
 // case-study world, runnable through the public throughput estimator.
+// Output is CSV by default; -format binary emits the compact wire
+// format instead.
 //
 // Usage:
 //
 //	cdngen -isp A -clients 500 -days 2 -out ispa.csv
+//	cdngen -isp A -days 2 -format binary -out ispa.lmw
 //	cdngen -isp C -mobile | head
 package main
 
@@ -17,6 +20,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/cdn"
 	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/scenario"
+	"github.com/last-mile-congestion/lastmile/internal/wire"
 )
 
 func main() {
@@ -27,15 +31,16 @@ func main() {
 		days    = flag.Int("days", 1, "days of logs (starting Sep 19 2019)")
 		seed    = flag.Uint64("seed", 2020, "simulation seed")
 		out     = flag.String("out", "-", "output file (- for stdout)")
+		format  = flag.String("format", "csv", "output format: csv or binary (wire stream)")
 	)
 	flag.Parse()
-	if err := run(*ispName, *mobile, *clients, *days, *seed, *out); err != nil {
+	if err := run(*ispName, *mobile, *clients, *days, *seed, *out, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "cdngen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ispName string, mobile bool, clients, days int, seed uint64, out string) (err error) {
+func run(ispName string, mobile bool, clients, days int, seed uint64, out, format string) (err error) {
 	tk, err := scenario.BuildTokyo(seed, clients)
 	if err != nil {
 		return err
@@ -72,7 +77,23 @@ func run(ispName string, mobile bool, clients, days int, seed uint64, out string
 		defer ioutil.CloseJoin(f, &err)
 		w = f
 	}
-	cw := cdn.NewWriter(w)
+
+	var (
+		write func(e *cdn.LogEntry) error
+		flush func() error
+	)
+	switch format {
+	case "csv":
+		cw := cdn.NewWriter(w)
+		write = cw.Write
+		flush = cw.Flush
+	case "binary":
+		ww := wire.NewWriter(w, wire.StreamCDNLog)
+		write = ww.WriteLog
+		flush = ww.Flush
+	default:
+		return fmt.Errorf("unknown format %q (want csv or binary)", format)
+	}
 
 	gen := &cdn.Generator{
 		Network:                 ti.Network,
@@ -86,12 +107,12 @@ func run(ispName string, mobile bool, clients, days int, seed uint64, out string
 	total := 0
 	err = gen.Generate(start, start.AddDate(0, 0, days), func(e cdn.LogEntry) error {
 		total++
-		return cw.Write(&e)
+		return write(&e)
 	})
 	if err != nil {
 		return err
 	}
-	if err := cw.Flush(); err != nil {
+	if err := flush(); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cdngen: wrote %d log entries for %s (%d clients, %d day(s))\n",

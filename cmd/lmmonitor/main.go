@@ -1,9 +1,11 @@
 // Command lmmonitor runs the streaming (online) variant of the pipeline:
-// it consumes newline-delimited Atlas traceroute JSON from a file or
-// stdin, maintains a sliding window per AS over the sharded incremental
-// delay engine, and prints a live classification table at a configurable
-// cadence of stream time — the operational mode of a continuously-running
-// last-mile monitor.
+// it consumes traceroute results from a file or stdin — newline-delimited
+// Atlas JSON or the binary wire format, detected automatically — maintains
+// a sliding window per AS over the sharded incremental delay engine, and
+// prints a live classification table at a configurable cadence of stream
+// time — the operational mode of a continuously-running last-mile monitor.
+// Wire archives carry their AS attribution in-band; JSON input is
+// attributed through the optional RIB.
 //
 // With -http the monitor also serves an ops endpoint: /metrics
 // (Prometheus text), /metrics.json, and /debug/pprof, backed by the
@@ -183,6 +185,13 @@ func (p *printer) Block(fn func(io.Writer) error) error {
 	return fn(p.w)
 }
 
+// arrival is one scanned result with its in-band AS attribution (0 for
+// JSON input), owned by the receiver until processed.
+type arrival struct {
+	asn lastmile.ASN
+	res *lastmile.Result
+}
+
 // config carries run's knobs; main fills it from flags, tests directly.
 type config struct {
 	rib             *lastmile.RIB
@@ -203,9 +212,11 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 		Workers: cfg.workers,
 		Metrics: cfg.metrics,
 	})
-	feed := func(res *lastmile.Result) error {
-		asn := lastmile.ASN(0)
-		if cfg.rib != nil && res.FromAddr.IsValid() {
+	// feed attributes one result and hands it to the monitor. Binary
+	// wire archives carry the origin AS in-band (asn != 0); JSON input
+	// falls back to the RIB, when given.
+	feed := func(asn lastmile.ASN, res *lastmile.Result) error {
+		if asn == 0 && cfg.rib != nil && res.FromAddr.IsValid() {
 			if origin, err := cfg.rib.OriginOf(res.FromAddr); err == nil {
 				asn = origin
 			}
@@ -253,45 +264,50 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 	}()
 
 	var nextReport time.Time
-	process := func(res *lastmile.Result) error {
-		if err := feed(res); err != nil {
+	process := func(a arrival) error {
+		if err := feed(a.asn, a.res); err != nil {
 			return err
 		}
 		if nextReport.IsZero() {
-			nextReport = res.Timestamp.Add(cfg.every)
+			nextReport = a.res.Timestamp.Add(cfg.every)
 			return nil
 		}
-		if !res.Timestamp.Before(nextReport) {
-			if err := printReport(monitor, out, res.Timestamp); err != nil {
+		if !a.res.Timestamp.Before(nextReport) {
+			if err := printReport(monitor, out, a.res.Timestamp); err != nil {
 				return err
 			}
-			nextReport = res.Timestamp.Add(cfg.every)
+			nextReport = a.res.Timestamp.Add(cfg.every)
 		}
 		return nil
 	}
 
 	// The scanner feeds a channel so that the processing loop can also
 	// watch for termination signals; results is closed when the input is
-	// exhausted, with any scan error left in scanErr.
-	results := make(chan *lastmile.Result)
+	// exhausted, with any scan error left in scanErr. The scanner reuses
+	// its Result between Scan calls, so each arrival carries its own
+	// copy: the streaming path recycles copies through a pool (one
+	// CopyFrom per result, no steady-state allocation), the sorting path
+	// clones, since every result is live until the sort.
+	pool := sync.Pool{New: func() any { return new(lastmile.Result) }}
+	results := make(chan arrival)
 	var scanErr error
 	go func() {
 		defer close(results)
 		sc := lastmile.NewResultScanner(r)
 		if cfg.sortIn {
-			var buffered []*lastmile.Result
+			var buffered []arrival
 			for sc.Scan() {
-				buffered = append(buffered, sc.Result())
+				buffered = append(buffered, arrival{sc.ASN(), sc.Result().Clone()})
 			}
 			if scanErr = sc.Err(); scanErr != nil {
 				return
 			}
 			sort.SliceStable(buffered, func(i, j int) bool {
-				return buffered[i].Timestamp.Before(buffered[j].Timestamp)
+				return buffered[i].res.Timestamp.Before(buffered[j].res.Timestamp)
 			})
-			for _, res := range buffered {
+			for _, a := range buffered {
 				select {
-				case results <- res:
+				case results <- a:
 				case <-ctx.Done():
 					return
 				}
@@ -299,8 +315,10 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 			return
 		}
 		for sc.Scan() {
+			res := pool.Get().(*lastmile.Result)
+			res.CopyFrom(sc.Result())
 			select {
-			case results <- sc.Result():
+			case results <- arrival{sc.ASN(), res}:
 			case <-ctx.Done():
 				return
 			}
@@ -312,17 +330,27 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 loop:
 	for {
 		select {
-		case res, ok := <-results:
+		case a, ok := <-results:
 			if !ok {
 				break loop
 			}
-			if err := process(res); err != nil {
+			err := process(a)
+			pool.Put(a.res)
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():
 			interrupted = true
 			break loop
 		}
+	}
+	// The feeder also watches ctx and closes results when it fires, so a
+	// cancellation can surface here as a closed channel rather than
+	// through the ctx case — both selects were ready and Go picked one at
+	// random. Re-check ctx so that race never misreports an interrupted
+	// run as a clean end of stream.
+	if ctx.Err() != nil {
+		interrupted = true
 	}
 	if !interrupted && scanErr != nil {
 		return scanErr

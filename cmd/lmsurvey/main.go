@@ -2,10 +2,12 @@
 // traceroute dataset: per-probe last-mile estimation, 30-minute median
 // binning, population aggregation, and Welch-based classification.
 //
-// It reads newline-delimited RIPE Atlas traceroute JSON — either genuine
-// Atlas API output or cmd/atlasgen's synthetic data — groups probes by
-// origin AS (via an optional RIB for longest-prefix match, else by the
-// probe's source), attributes each traceroute, and hands the attributed
+// It reads newline-delimited RIPE Atlas traceroute JSON or the binary
+// wire format (cmd/atlasgen -format binary), detecting the encoding
+// automatically — either genuine Atlas API output or synthetic data —
+// groups probes by origin AS (probe metadata, then an optional RIB
+// longest-prefix match, then the archive's own in-band attribution for
+// wire input), attributes each traceroute, and hands the attributed
 // dataset to the batch survey runner, which replays it through the
 // shared incremental delay engine and classifies every AS.
 //
@@ -121,6 +123,10 @@ func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards int) er
 				if origin, err := rib.OriginOf(res.FromAddr); err == nil {
 					asn = origin
 				}
+			case sc.ASN() != 0:
+				// Binary wire archives carry the origin AS in-band;
+				// explicit -probes / -rib attribution takes precedence.
+				asn = sc.ASN()
 			}
 			probeASN[res.ProbeID] = asn
 		}
@@ -128,7 +134,8 @@ func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards int) er
 			asProbes[asn] = map[int]bool{}
 		}
 		asProbes[asn][res.ProbeID] = true
-		results = append(results, lastmile.AttributedResult{ASN: asn, Result: res})
+		// Clone: the scanner reuses res's storage on the next Scan.
+		results = append(results, lastmile.AttributedResult{ASN: asn, Result: res.Clone()})
 		if tMin.IsZero() || res.Timestamp.Before(tMin) {
 			tMin = res.Timestamp
 		}

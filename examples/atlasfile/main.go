@@ -36,7 +36,9 @@ func main() {
 	noSegment := 0
 	sc := lastmile.NewResultScanner(f)
 	for sc.Scan() {
-		r := sc.Result()
+		// Clone: the scanner reuses its Result on the next Scan, and
+		// pass 2 needs every traceroute live at once.
+		r := sc.Result().Clone()
 		if _, ok := lastmile.FindSegment(r); !ok {
 			noSegment++
 		}

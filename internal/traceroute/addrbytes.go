@@ -1,0 +1,179 @@
+package traceroute
+
+import "net/netip"
+
+// A []byte port of net/netip's address parser for the zero-allocation
+// decode path: netip.ParseAddr takes a string, and converting a scanner
+// token to call it is an allocation encoding/json-free decoding exists
+// to remove. The grammar and accepted values track netip.ParseAddr
+// exactly — parseV4Fields/parseV6Bytes mirror the stdlib's
+// parseIPv4Fields/parseIPv6 — with two deliberate tightenings: zoned
+// IPv6 addresses (fe80::1%eth0) are rejected rather than parsed (the
+// Atlas schema never carries zones), and the result is returned
+// unmapped (4-in-6 forms collapse to IPv4), folding in the .Unmap()
+// the reference codec applies after parsing. The differential fuzz over
+// ParseAtlasInto exercises the equivalence.
+
+// parseAddrBytes parses an IP address literal, dispatching on the first
+// structural byte like netip.ParseAddr.
+func parseAddrBytes(s []byte) (netip.Addr, bool) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '.':
+			return parseV4Bytes(s)
+		case ':':
+			return parseV6Bytes(s)
+		case '%':
+			// A zone with no address — and were the address present, the
+			// ':' would have dispatched to parseV6Bytes, which rejects
+			// zones wholesale.
+			return netip.Addr{}, false
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// parseV4Fields decodes dotted-decimal octets into fields, enforcing
+// netip's rules: 1-3 digits per octet, no leading zeros, values ≤ 255,
+// exactly four octets.
+func parseV4Fields(s []byte, fields []uint8) bool {
+	var val, pos, digLen int
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if digLen == 1 && val == 0 {
+				return false // leading zero
+			}
+			val = val*10 + int(c) - '0'
+			digLen++
+			if val > 255 {
+				return false
+			}
+		case c == '.':
+			// Reject .1.2.3 | 1.2.3. | 1..2.3 | 1.2.3.4.5
+			if i == 0 || i == len(s)-1 || s[i-1] == '.' || pos == 3 {
+				return false
+			}
+			fields[pos] = uint8(val)
+			pos++
+			val, digLen = 0, 0
+		default:
+			return false
+		}
+	}
+	if pos < 3 {
+		return false
+	}
+	fields[3] = uint8(val)
+	return true
+}
+
+func parseV4Bytes(s []byte) (netip.Addr, bool) {
+	var fields [4]uint8
+	if !parseV4Fields(s, fields[:]) {
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom4(fields), true
+}
+
+// parseV6Bytes decodes an IPv6 literal: colon-separated groups of at
+// most four hex digits, at most one "::" ellipsis (which must expand to
+// at least one zero group), and an optional embedded IPv4 tail
+// replacing the final two groups.
+func parseV6Bytes(in []byte) (netip.Addr, bool) {
+	s := in
+	var ip [16]byte
+	ellipsis := -1 // byte position of the ellipsis in ip
+
+	// Might have a leading ellipsis.
+	if len(s) >= 2 && s[0] == ':' && s[1] == ':' {
+		ellipsis = 0
+		s = s[2:]
+		if len(s) == 0 {
+			return netip.IPv6Unspecified(), true
+		}
+	}
+
+	i := 0
+	for i < 16 {
+		// One hex group.
+		off := 0
+		acc := uint32(0)
+		for ; off < len(s); off++ {
+			c := s[off]
+			if c >= '0' && c <= '9' {
+				acc = (acc << 4) + uint32(c-'0')
+			} else if c >= 'a' && c <= 'f' {
+				acc = (acc << 4) + uint32(c-'a'+10)
+			} else if c >= 'A' && c <= 'F' {
+				acc = (acc << 4) + uint32(c-'A'+10)
+			} else {
+				break
+			}
+			if off > 3 || acc > 0xFFFF {
+				return netip.Addr{}, false
+			}
+		}
+		if off == 0 {
+			return netip.Addr{}, false // empty group
+		}
+
+		// A following dot means the group starts an embedded IPv4 tail.
+		if off < len(s) && s[off] == '.' {
+			if (ellipsis < 0 && i != 12) || i+4 > 16 {
+				return netip.Addr{}, false
+			}
+			if !parseV4Fields(s, ip[i:i+4]) {
+				return netip.Addr{}, false
+			}
+			s = nil
+			i += 4
+			break
+		}
+
+		ip[i] = byte(acc >> 8)
+		ip[i+1] = byte(acc)
+		i += 2
+
+		s = s[off:]
+		if len(s) == 0 {
+			break
+		}
+
+		// Otherwise the group must be followed by a colon and more.
+		if s[0] != ':' || len(s) == 1 {
+			return netip.Addr{}, false
+		}
+		s = s[1:]
+
+		// A second colon is the ellipsis.
+		if s[0] == ':' {
+			if ellipsis >= 0 {
+				return netip.Addr{}, false // multiple ::
+			}
+			ellipsis = i
+			s = s[1:]
+			if len(s) == 0 {
+				break // trailing :: is valid
+			}
+		}
+	}
+
+	if len(s) != 0 {
+		return netip.Addr{}, false // trailing garbage
+	}
+	if i < 16 {
+		if ellipsis < 0 {
+			return netip.Addr{}, false // too short without ::
+		}
+		n := 16 - i
+		for j := i - 1; j >= ellipsis; j-- {
+			ip[j+n] = ip[j]
+		}
+		clear(ip[ellipsis : ellipsis+n])
+	} else if ellipsis >= 0 {
+		return netip.Addr{}, false // :: must stand for ≥1 zero group
+	}
+	return netip.AddrFrom16(ip).Unmap(), true
+}

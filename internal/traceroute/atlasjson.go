@@ -167,10 +167,12 @@ func (tw *Writer) Write(r *Result) error {
 // writer.
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
-// Scanner streams results from newline-delimited Atlas JSON.
+// Scanner streams results from newline-delimited Atlas JSON. It owns
+// one Result that every Scan decodes into, so steady-state scanning
+// allocates nothing per line; see Result for the reuse contract.
 type Scanner struct {
 	sc   *bufio.Scanner
-	cur  *Result
+	res  Result
 	err  error
 	line int
 }
@@ -192,7 +194,10 @@ func NewScanner(r io.Reader) *Scanner {
 }
 
 // Scan advances to the next result, skipping blank lines. It returns
-// false at end of input or on the first error; check Err.
+// false at end of input or on the first error; check Err. Each Scan
+// overwrites the Result returned by Result.
+//
+//lmvet:hotpath
 func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
@@ -200,30 +205,31 @@ func (s *Scanner) Scan() bool {
 	for s.sc.Scan() {
 		s.line++
 		line := s.sc.Bytes()
-		trimmed := false
+		blank := true
 		for _, b := range line {
 			if b != ' ' && b != '\t' && b != '\r' {
-				trimmed = true
+				blank = false
 				break
 			}
 		}
-		if !trimmed {
+		if blank {
 			continue
 		}
-		r, err := ParseAtlas(line)
-		if err != nil {
-			s.err = fmt.Errorf("line %d: %w", s.line, err)
+		if err := ParseAtlasInto(&s.res, line); err != nil {
+			s.err = fmt.Errorf("line %d: %w", s.line, err) //lmvet:ignore allocguard terminal error path: the scan is over
 			return false
 		}
-		s.cur = r
 		return true
 	}
 	s.err = s.sc.Err()
 	return false
 }
 
-// Result returns the result parsed by the last successful Scan.
-func (s *Scanner) Result() *Result { return s.cur }
+// Result returns the result decoded by the last successful Scan. The
+// pointer and everything it references are valid until the next Scan
+// call, which reuses the same storage; callers that retain a result
+// across Scans must Clone it (or CopyFrom into their own Result).
+func (s *Scanner) Result() *Result { return &s.res }
 
 // Err returns the first error encountered, or nil at clean end of input.
 func (s *Scanner) Err() error { return s.err }

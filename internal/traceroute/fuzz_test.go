@@ -11,6 +11,12 @@ import (
 // structure intact — hop count, per-hop reply counts, the answered
 // (non-timeout) subset, identity fields, and RTT bits.
 //
+// It is also the differential oracle for the hand-rolled zero-alloc
+// parser: ParseAtlasInto may reject inputs encoding/json accepts (its
+// documented tightenings — duplicate mapped keys, zoned addresses, the
+// nesting cap), but it must never accept an input the oracle rejects,
+// and when both accept they must produce bit-identical Results.
+//
 // Seed corpus: the f.Add seeds below plus testdata/fuzz/FuzzParseAtlasJSON.
 // scripts/check.sh runs a short -fuzz smoke pass over it.
 func FuzzParseAtlasJSON(f *testing.F) {
@@ -26,11 +32,27 @@ func FuzzParseAtlasJSON(f *testing.F) {
 		` "src_addr": "2001:db8::5", "result": [{"hop": 1, "result":` +
 		` [{"from": "2001:db8::1", "rtt": 0.7, "ttl": 64}, {"err": "N"}]}]}`))
 	f.Add([]byte(`{"result": [{"hop": 1, "result": [{"rtt": "fast"}]}]}`))
+	// The zero-alloc parser's documented tightenings: the oracle accepts
+	// these, ParseAtlasInto rejects them.
+	f.Add([]byte(`{"timestamp": 1, "timestamp": 2}`))
+	f.Add([]byte(`{"src_addr": "fe80::1%eth0"}`))
+	// Key folding and escape handling must match encoding/json exactly.
+	f.Add([]byte(`{"PRB_ID": 3, "timestamp": 9}`))
+	f.Add([]byte(`{"proto": "𝄞\uD800x", "prb_id": 1}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := ParseAtlas(data) // must not panic
+		var into Result
+		intoErr := ParseAtlasInto(&into, data) // must not panic
+		r, err := ParseAtlas(data)             // must not panic
+		if intoErr == nil && err != nil {
+			t.Fatalf("ParseAtlasInto accepted input the oracle rejects (%v)\ninput: %q", err, data)
+		}
 		if err != nil {
 			return
+		}
+		if intoErr == nil && !resultsIdentical(r, &into) {
+			t.Fatalf("parsers disagree on accepted input:\noracle: %+v\n  into: %+v\ninput: %q",
+				r, &into, data)
 		}
 		// Accepted input: re-encode and re-parse; the sampled structure
 		// must round-trip exactly.
@@ -45,6 +67,19 @@ func FuzzParseAtlasJSON(f *testing.F) {
 		if r2.ProbeID != r.ProbeID || r2.MsmID != r.MsmID || r2.AF != r.AF ||
 			!r2.Timestamp.Equal(r.Timestamp) {
 			t.Fatalf("identity fields changed: %+v vs %+v", r2, r)
+		}
+		// The re-encoding is canonical JSON; the zero-alloc parser must
+		// agree with the oracle on it too.
+		var into2 Result
+		if err := ParseAtlasInto(&into2, enc); err != nil {
+			// Zoned addresses survive the oracle's round trip but are a
+			// documented ParseAtlasInto tightening; everything else must
+			// be accepted.
+			if !hasZonedAddr(r) {
+				t.Fatalf("ParseAtlasInto rejected canonical re-encoding: %v\nencoded: %q", err, enc)
+			}
+		} else if !resultsIdentical(r2, &into2) {
+			t.Fatalf("parsers disagree on canonical re-encoding:\noracle: %+v\n  into: %+v", r2, &into2)
 		}
 		if len(r2.Hops) != len(r.Hops) {
 			t.Fatalf("hop count %d -> %d", len(r.Hops), len(r2.Hops))
@@ -70,4 +105,47 @@ func FuzzParseAtlasJSON(f *testing.F) {
 			}
 		}
 	})
+}
+
+// resultsIdentical is bit-exact equality: every field, RTTs by bit
+// pattern, nil and empty slices equal.
+func resultsIdentical(a, b *Result) bool {
+	if a.ProbeID != b.ProbeID || a.MsmID != b.MsmID || a.AF != b.AF ||
+		!a.Timestamp.Equal(b.Timestamp) || a.Proto != b.Proto ||
+		a.SrcAddr != b.SrcAddr || a.FromAddr != b.FromAddr || a.DstAddr != b.DstAddr {
+		return false
+	}
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		ha, hb := &a.Hops[i], &b.Hops[i]
+		if ha.Hop != hb.Hop || len(ha.Replies) != len(hb.Replies) {
+			return false
+		}
+		for j := range ha.Replies {
+			ra, rb := &ha.Replies[j], &hb.Replies[j]
+			if ra.Timeout != rb.Timeout || ra.From != rb.From || ra.TTL != rb.TTL ||
+				math.Float64bits(ra.RTT) != math.Float64bits(rb.RTT) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasZonedAddr reports whether any address in r carries an IPv6 zone —
+// representable by the oracle but rejected by the zero-alloc parser.
+func hasZonedAddr(r *Result) bool {
+	if r.SrcAddr.Zone() != "" || r.FromAddr.Zone() != "" || r.DstAddr.Zone() != "" {
+		return true
+	}
+	for i := range r.Hops {
+		for j := range r.Hops[i].Replies {
+			if r.Hops[i].Replies[j].From.Zone() != "" {
+				return true
+			}
+		}
+	}
+	return false
 }

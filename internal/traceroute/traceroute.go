@@ -81,6 +81,63 @@ func (r *Result) Validate() error {
 	return nil
 }
 
+// AddHop appends one zeroed hop to r and returns it, reusing spare hop
+// capacity and the slot's previous Replies storage — the growth primitive
+// of the zero-allocation decode paths (ParseAtlasInto, wire decoding,
+// CopyFrom). Steady-state reuse of one Result allocates nothing once the
+// hop and reply slices have grown to the stream's working set.
+func (r *Result) AddHop() *HopResult {
+	if len(r.Hops) < cap(r.Hops) {
+		r.Hops = r.Hops[:len(r.Hops)+1]
+		h := &r.Hops[len(r.Hops)-1]
+		h.Hop = 0
+		h.Replies = h.Replies[:0]
+		return h
+	}
+	r.Hops = append(r.Hops, HopResult{}) //lmvet:ignore allocguard grows once to the stream's max hop count, then every decode reuses the storage
+	return &r.Hops[len(r.Hops)-1]
+}
+
+// AddReply appends one zeroed reply to h and returns it, reusing spare
+// capacity like AddHop.
+func (h *HopResult) AddReply() *Reply {
+	if len(h.Replies) < cap(h.Replies) {
+		h.Replies = h.Replies[:len(h.Replies)+1]
+		rep := &h.Replies[len(h.Replies)-1]
+		*rep = Reply{}
+		return rep
+	}
+	h.Replies = append(h.Replies, Reply{}) //lmvet:ignore allocguard grows once to the 3-reply steady state, then every decode reuses the storage
+	return &h.Replies[len(h.Replies)-1]
+}
+
+// CopyFrom deep-copies src into r, reusing r's hop and reply storage.
+// It is the allocation-free way to retain a scanner's reused Result
+// beyond the next Scan when r itself is recycled (e.g. through a
+// sync.Pool).
+//
+//lmvet:hotpath
+func (r *Result) CopyFrom(src *Result) {
+	hops := r.Hops[:0]
+	*r = *src
+	r.Hops = hops
+	for i := range src.Hops {
+		sh := &src.Hops[i]
+		h := r.AddHop()
+		h.Hop = sh.Hop
+		for j := range sh.Replies {
+			*h.AddReply() = sh.Replies[j]
+		}
+	}
+}
+
+// Clone returns a fresh deep copy of r, sharing no storage with it.
+func (r *Result) Clone() *Result {
+	out := &Result{}
+	out.CopyFrom(r)
+	return out
+}
+
 // ReachedDst reports whether any reply came from the traceroute target.
 func (r *Result) ReachedDst() bool {
 	for _, h := range r.Hops {

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// FuzzWireRoundTrip fuzzes the decoders at both layers with the same
+// input bytes.
+//
+// Payload layer: any bytes DecodeResultInto or DecodeLogInto accepts
+// must re-encode to exactly the input — the encode(decode(b)) == b half
+// of the codec's bijection, which only holds because every non-minimal
+// varint, out-of-range count, and malformed address tag is rejected.
+//
+// Stream layer: Scanner and LogScanner must never panic, every frame
+// they produce must survive its own round trip, and any terminal error
+// must be one of the typed sentinels (usually located by CorruptError).
+//
+// Seed corpus: the f.Add seeds below plus testdata/fuzz/FuzzWireRoundTrip.
+// scripts/check.sh runs a short -fuzz smoke pass over it.
+func FuzzWireRoundTrip(f *testing.F) {
+	for i, r := range sampleResults() {
+		f.Add(AppendResult(nil, bgp.ASN(64500+i), r))
+	}
+	for _, e := range sampleLogs() {
+		f.Add(AppendLog(nil, e))
+	}
+	// Whole streams: empty, single-frame, and all samples.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, StreamResults)
+	for i, r := range sampleResults() {
+		if err := w.WriteResult(bgp.ASN(64500+i), r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(appendHeader(nil, StreamResults))
+	f.Add(appendHeader(nil, StreamCDNLog))
+	f.Add([]byte{0x89, 'L', 'M'})
+	// A truncated gzip envelope: the scanners read through MaybeGzip, so
+	// a broken compression layer must also surface as a typed error.
+	f.Add([]byte{0x1f, 0x8b})
+
+	sentinels := []error{
+		ErrBadMagic, ErrVersion, ErrStreamType, ErrShortFrame,
+		ErrFrameTooLarge, ErrOverlongVarint, ErrTrailingBytes, ErrBadFrame,
+	}
+	typed := func(err error) bool {
+		for _, s := range sentinels {
+			if errors.Is(err, s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Payload-level canonicality.
+		var r traceroute.Result
+		if asn, err := DecodeResultInto(&r, data); err == nil {
+			if enc := AppendResult(nil, asn, &r); !bytes.Equal(enc, data) {
+				t.Fatalf("result payload decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !typed(err) {
+			t.Fatalf("untyped result decode error: %v", err)
+		}
+		var e cdn.LogEntry
+		if err := DecodeLogInto(&e, data); err == nil {
+			if enc := AppendLog(nil, &e); !bytes.Equal(enc, data) {
+				t.Fatalf("log payload decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !typed(err) {
+			t.Fatalf("untyped log decode error: %v", err)
+		}
+
+		// Stream level: never panic, every scanned frame round-trips,
+		// every failure is typed.
+		sc := NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+			enc := AppendResult(nil, sc.ASN(), sc.Result())
+			var back traceroute.Result
+			if asn, err := DecodeResultInto(&back, enc); err != nil || asn != sc.ASN() {
+				t.Fatalf("scanned frame failed its round trip: %v", err)
+			}
+		}
+		if err := sc.Err(); err != nil && !typed(err) {
+			t.Fatalf("untyped scanner error: %v", err)
+		}
+		ls := NewLogScanner(bytes.NewReader(data))
+		for ls.Scan() {
+		}
+		if err := ls.Err(); err != nil && !typed(err) {
+			t.Fatalf("untyped log scanner error: %v", err)
+		}
+	})
+}

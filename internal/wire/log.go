@@ -1,0 +1,89 @@
+package wire
+
+// Frame payload codec for CDN access-log entries (StreamCDNLog).
+//
+// Payload layout:
+//
+//	log := unixSec(zigzag) unixNsec(uvarint, < 1e9)
+//	       clientIP(addr) bytes(zigzag) durationBits(8 LE)
+//	       status(zigzag) cache(0|1)
+//
+// The same canonicality rules as the result codec apply: minimal
+// varints, tagged addresses, byte-exact float bits, cache bytes other
+// than 0/1 rejected.
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/cdn"
+)
+
+// AppendLog appends one log entry to dst as a frame payload (without
+// the length prefix) and returns the extended slice.
+func AppendLog(dst []byte, e *cdn.LogEntry) []byte {
+	dst = appendZigzag(dst, e.Timestamp.Unix())
+	dst = appendUvarint(dst, uint64(e.Timestamp.Nanosecond()))
+	dst = appendAddr(dst, e.ClientIP)
+	dst = appendZigzag(dst, e.Bytes)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.DurationMs))
+	dst = appendZigzag(dst, int64(e.Status))
+	if e.Cache == cdn.Hit {
+		return append(dst, 0)
+	}
+	return append(dst, 1)
+}
+
+// DecodeLogInto decodes one log frame payload into e. The whole payload
+// must be consumed (ErrTrailingBytes otherwise). The entry holds no
+// references, so decoding allocates nothing.
+//
+//lmvet:hotpath
+func DecodeLogInto(e *cdn.LogEntry, payload []byte) error {
+	*e = cdn.LogEntry{}
+	b := payload
+	sec, b, err := decodeInt64(b)
+	if err != nil {
+		return err
+	}
+	u, n, err := uvarint(b)
+	if err != nil {
+		return err
+	}
+	if u >= 1e9 || sec > maxUnixSec || sec < -maxUnixSec {
+		return ErrBadFrame
+	}
+	b = b[n:]
+	e.Timestamp = time.Unix(sec, int64(u)).UTC()
+
+	if e.ClientIP, b, err = decodeAddr(b); err != nil {
+		return err
+	}
+	if e.Bytes, b, err = decodeInt64(b); err != nil {
+		return err
+	}
+	if len(b) < 8 {
+		return ErrShortFrame
+	}
+	e.DurationMs = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	if e.Status, b, err = decodeInt(b); err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return ErrShortFrame
+	}
+	switch b[0] {
+	case 0:
+		e.Cache = cdn.Hit
+	case 1:
+		e.Cache = cdn.Miss
+	default:
+		return ErrBadFrame
+	}
+	if len(b) != 1 {
+		return ErrTrailingBytes
+	}
+	return nil
+}

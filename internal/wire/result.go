@@ -1,0 +1,257 @@
+package wire
+
+// Frame payload codec for attributed traceroute results (StreamResults).
+//
+// Payload layout, all varints canonical LEB128:
+//
+//	result  := asn(uvarint) probeID(zigzag) msmID(zigzag)
+//	           unixSec(zigzag) unixNsec(uvarint, < 1e9)
+//	           af(zigzag) srcAddr(addr) fromAddr(addr) dstAddr(addr)
+//	           protoLen(uvarint) protoBytes
+//	           nhops(uvarint) hop*
+//	hop     := hopNum(zigzag) nreplies(uvarint) reply*
+//	reply   := timeout(0|1) fromAddr(addr) rttBits(8 LE) ttl(zigzag)
+//	addr    := 0x00 | 0x04 b[4] | 0x06 b[16]
+//
+// Float64 bits travel as fixed 8-byte little-endian words, so NaN
+// payloads (timeout RTTs) and signed zeros round-trip bit-identically.
+// Timestamps normalise to UTC wall-clock (seconds + nanoseconds); IPv6
+// zones are not representable and are dropped by the encoder. Every
+// byte is checked on decode — non-minimal varints, out-of-range
+// nanoseconds, unknown address tags, and timeout bytes other than 0/1
+// are rejected — so the codec is bijective: decode(encode(r)) == r and
+// encode(decode(b)) == b, properties the wire tests pin with
+// testing/quick and the round-trip fuzz target.
+
+import (
+	"encoding/binary"
+	"math"
+	"net/netip"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// Address tag bytes.
+const (
+	addrNone byte = 0
+	addrV4   byte = 4
+	addrV6   byte = 6
+)
+
+// maxUnixSec bounds the unix-seconds field of decoded timestamps.
+// time.Unix silently wraps its internal epoch for magnitudes near
+// MaxInt64, which would break the encode(decode(b)) == b canonicality
+// the codec guarantees; ±1<<62 is ±146 billion years, far past any real
+// timestamp, and round-trips exactly.
+const maxUnixSec = 1 << 62
+
+// AppendResult appends one attributed result to dst as a frame payload
+// (without the length prefix) and returns the extended slice. Encoding
+// is deterministic: equal inputs produce equal bytes.
+func AppendResult(dst []byte, asn bgp.ASN, r *traceroute.Result) []byte {
+	dst = appendUvarint(dst, uint64(asn))
+	dst = appendZigzag(dst, int64(r.ProbeID))
+	dst = appendZigzag(dst, int64(r.MsmID))
+	dst = appendZigzag(dst, r.Timestamp.Unix())
+	dst = appendUvarint(dst, uint64(r.Timestamp.Nanosecond()))
+	dst = appendZigzag(dst, int64(r.AF))
+	dst = appendAddr(dst, r.SrcAddr)
+	dst = appendAddr(dst, r.FromAddr)
+	dst = appendAddr(dst, r.DstAddr)
+	dst = appendUvarint(dst, uint64(len(r.Proto)))
+	dst = append(dst, r.Proto...)
+	dst = appendUvarint(dst, uint64(len(r.Hops)))
+	for i := range r.Hops {
+		h := &r.Hops[i]
+		dst = appendZigzag(dst, int64(h.Hop))
+		dst = appendUvarint(dst, uint64(len(h.Replies)))
+		for j := range h.Replies {
+			rep := &h.Replies[j]
+			if rep.Timeout {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+			dst = appendAddr(dst, rep.From)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rep.RTT))
+			dst = appendZigzag(dst, int64(rep.TTL))
+		}
+	}
+	return dst
+}
+
+// appendAddr appends the tagged address encoding. The zone of a zoned
+// IPv6 address is not representable and is dropped.
+func appendAddr(dst []byte, a netip.Addr) []byte {
+	switch {
+	case a.Is4():
+		b4 := a.As4()
+		dst = append(dst, addrV4)
+		return append(dst, b4[0], b4[1], b4[2], b4[3])
+	case a.IsValid():
+		b16 := a.As16()
+		dst = append(dst, addrV6)
+		return append(dst, b16[:]...)
+	}
+	return append(dst, addrNone)
+}
+
+// DecodeResultInto decodes one result frame payload into r, reusing
+// r's hop and reply storage, and returns the attributed origin AS. The
+// whole payload must be consumed (ErrTrailingBytes otherwise). On error
+// r's contents are unspecified. Steady-state decoding of a stream into
+// one reused Result allocates nothing.
+//
+//lmvet:hotpath
+func DecodeResultInto(r *traceroute.Result, payload []byte) (bgp.ASN, error) {
+	hops := r.Hops[:0]
+	*r = traceroute.Result{Hops: hops}
+
+	b := payload
+	u, n, err := uvarint(b)
+	if err != nil {
+		return 0, err
+	}
+	if u > math.MaxUint32 {
+		return 0, ErrBadFrame
+	}
+	asn := bgp.ASN(u)
+	b = b[n:]
+
+	if r.ProbeID, b, err = decodeInt(b); err != nil {
+		return 0, err
+	}
+	if r.MsmID, b, err = decodeInt(b); err != nil {
+		return 0, err
+	}
+	var sec int64
+	if sec, b, err = decodeInt64(b); err != nil {
+		return 0, err
+	}
+	u, n, err = uvarint(b)
+	if err != nil {
+		return 0, err
+	}
+	if u >= 1e9 || sec > maxUnixSec || sec < -maxUnixSec {
+		return 0, ErrBadFrame
+	}
+	b = b[n:]
+	r.Timestamp = time.Unix(sec, int64(u)).UTC()
+
+	if r.AF, b, err = decodeInt(b); err != nil {
+		return 0, err
+	}
+	if r.SrcAddr, b, err = decodeAddr(b); err != nil {
+		return 0, err
+	}
+	if r.FromAddr, b, err = decodeAddr(b); err != nil {
+		return 0, err
+	}
+	if r.DstAddr, b, err = decodeAddr(b); err != nil {
+		return 0, err
+	}
+
+	u, n, err = uvarint(b)
+	if err != nil {
+		return 0, err
+	}
+	b = b[n:]
+	if u > uint64(len(b)) {
+		return 0, ErrShortFrame
+	}
+	r.Proto = traceroute.InternProto(b[:u])
+	b = b[u:]
+
+	nhops, n, err := uvarint(b)
+	if err != nil {
+		return 0, err
+	}
+	b = b[n:]
+	// Each hop costs at least two bytes, so a count beyond the remaining
+	// payload is structurally impossible — reject it before looping.
+	if nhops > uint64(len(b)) {
+		return 0, ErrBadFrame
+	}
+	for hi := uint64(0); hi < nhops; hi++ {
+		h := r.AddHop()
+		if h.Hop, b, err = decodeInt(b); err != nil {
+			return 0, err
+		}
+		nreps, n, err := uvarint(b)
+		if err != nil {
+			return 0, err
+		}
+		b = b[n:]
+		if nreps > uint64(len(b)) {
+			return 0, ErrBadFrame
+		}
+		for ri := uint64(0); ri < nreps; ri++ {
+			rep := h.AddReply()
+			if len(b) == 0 {
+				return 0, ErrShortFrame
+			}
+			switch b[0] {
+			case 0:
+			case 1:
+				rep.Timeout = true
+			default:
+				return 0, ErrBadFrame
+			}
+			b = b[1:]
+			if rep.From, b, err = decodeAddr(b); err != nil {
+				return 0, err
+			}
+			if len(b) < 8 {
+				return 0, ErrShortFrame
+			}
+			rep.RTT = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+			if rep.TTL, b, err = decodeInt(b); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if len(b) != 0 {
+		return 0, ErrTrailingBytes
+	}
+	return asn, nil
+}
+
+// decodeInt64 decodes one zigzag varint and returns the rest of b.
+func decodeInt64(b []byte) (int64, []byte, error) {
+	u, n, err := uvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return unzigzag(u), b[n:], nil
+}
+
+// decodeInt is decodeInt64 narrowed to int.
+func decodeInt(b []byte) (int, []byte, error) {
+	v, rest, err := decodeInt64(b)
+	return int(v), rest, err
+}
+
+// decodeAddr decodes one tagged address and returns the rest of b.
+func decodeAddr(b []byte) (netip.Addr, []byte, error) {
+	if len(b) == 0 {
+		return netip.Addr{}, nil, ErrShortFrame
+	}
+	switch b[0] {
+	case addrNone:
+		return netip.Addr{}, b[1:], nil
+	case addrV4:
+		if len(b) < 5 {
+			return netip.Addr{}, nil, ErrShortFrame
+		}
+		return netip.AddrFrom4([4]byte(b[1:5])), b[5:], nil
+	case addrV6:
+		if len(b) < 17 {
+			return netip.Addr{}, nil, ErrShortFrame
+		}
+		return netip.AddrFrom16([16]byte(b[1:17])), b[17:], nil
+	}
+	return netip.Addr{}, nil, ErrBadFrame
+}

@@ -1,0 +1,419 @@
+package wire
+
+// Streaming access to wire archives: Writer frames results or log
+// entries onto any io.Writer through one pooled encode buffer; Scanner
+// and LogScanner stream frames back, decoding each into owned storage
+// that every Scan overwrites (the zero-allocation replay path); Reader
+// gives random access over an io.ReaderAt — an mmap'd archive, an HTTP
+// range reader — by scanning the self-delimiting length prefixes into
+// an offset index.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/cdn"
+	lmioutil "github.com/last-mile-congestion/lastmile/internal/ioutil"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+// Writer frames encoded payloads onto w. The encode buffer is owned by
+// the Writer and reused across writes, so steady-state writing
+// allocates nothing per frame.
+type Writer struct {
+	bw          *bufio.Writer
+	typ         byte
+	buf         []byte // reused payload encode buffer
+	pre         []byte // reused length-prefix buffer
+	wroteHeader bool
+}
+
+// NewWriter returns a Writer producing a stream of the given type
+// (StreamResults or StreamCDNLog). The stream header is emitted before
+// the first frame — or by Flush, so an empty archive is still a valid
+// stream.
+func NewWriter(w io.Writer, streamType byte) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64*1024), typ: streamType}
+}
+
+// writeFrame emits the header (once) and one length-prefixed frame.
+func (w *Writer) writeFrame(payload []byte) error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	w.pre = appendUvarint(w.pre[:0], uint64(len(payload)))
+	if _, err := w.bw.Write(w.pre); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+func (w *Writer) header() error {
+	if w.wroteHeader {
+		return nil
+	}
+	w.wroteHeader = true
+	w.pre = appendHeader(w.pre[:0], w.typ)
+	_, err := w.bw.Write(w.pre)
+	return err
+}
+
+// WriteResult appends one attributed result frame. The Writer must
+// carry StreamResults.
+func (w *Writer) WriteResult(asn bgp.ASN, r *traceroute.Result) error {
+	if w.typ != StreamResults {
+		return ErrStreamType
+	}
+	w.buf = AppendResult(w.buf[:0], asn, r)
+	return w.writeFrame(w.buf)
+}
+
+// WriteLog appends one access-log frame. The Writer must carry
+// StreamCDNLog.
+func (w *Writer) WriteLog(e *cdn.LogEntry) error {
+	if w.typ != StreamCDNLog {
+		return ErrStreamType
+	}
+	w.buf = AppendLog(w.buf[:0], e)
+	return w.writeFrame(w.buf)
+}
+
+// Flush writes the header if nothing was written yet and flushes
+// buffered output. Call it before closing the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// frameReader is the shared streaming state of Scanner and LogScanner:
+// buffered input, the reused frame payload buffer, and frame/offset
+// accounting for corruption reports.
+type frameReader struct {
+	br       *bufio.Reader
+	buf      []byte
+	err      error
+	off      int64 // stream offset of the next unread byte
+	frameOff int64 // stream offset of the current frame's length prefix
+	frame    int   // 0-based index of the current frame
+	started  bool
+}
+
+func newFrameReader(r io.Reader) frameReader {
+	rd, err := lmioutil.MaybeGzip(r)
+	if err != nil {
+		// A broken gzip envelope means no wire stream is readable at
+		// all; surface it as the typed not-a-stream error with the
+		// cause in the message.
+		return frameReader{err: fmt.Errorf("wire: %w: %v", ErrBadMagic, err)}
+	}
+	return frameReader{br: bufio.NewReaderSize(rd, 64*1024)}
+}
+
+// corruptHere wraps err with the current frame's location.
+func (f *frameReader) corruptHere(err error) error {
+	return corrupt(f.frame, f.frameOff, err)
+}
+
+// readErr converts an underlying read failure mid-stream into the typed
+// corruption contract: the readable input ended inside a frame, whether
+// by plain truncation or a failing transport (a corrupt gzip layer, an
+// I/O error). Non-EOF causes are preserved in the message.
+func (f *frameReader) readErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return f.corruptHere(ErrShortFrame)
+	}
+	return f.corruptHere(fmt.Errorf("%w: %v", ErrShortFrame, err)) //lmvet:ignore allocguard terminal error path: the stream is over
+}
+
+// header consumes and validates the stream header on the first frame
+// read.
+func (f *frameReader) header(want byte) error {
+	var hdr [HeaderLen]byte
+	n, err := io.ReadFull(f.br, hdr[:])
+	f.off += int64(n)
+	if err != nil {
+		if n >= 4 && IsMagic(hdr[:n]) {
+			return f.readErr(err)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrBadMagic
+		}
+		return fmt.Errorf("wire: %w: %v", ErrBadMagic, err) //lmvet:ignore allocguard terminal error path: the stream is over
+	}
+	typ, err := checkHeader(hdr[:])
+	if err != nil {
+		return err
+	}
+	if typ != want {
+		return ErrStreamType
+	}
+	return nil
+}
+
+// next returns the next frame's payload, valid until the following
+// call. io.EOF marks the clean end of the stream; every other error is
+// terminal and already wrapped.
+func (f *frameReader) next(want byte) ([]byte, error) {
+	if !f.started {
+		f.started = true
+		f.frameOff = f.off
+		if err := f.header(want); err != nil {
+			return nil, err
+		}
+	}
+	f.frameOff = f.off
+	ln, err := f.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ln > MaxFrame {
+		return nil, f.corruptHere(ErrFrameTooLarge)
+	}
+	if uint64(cap(f.buf)) < ln {
+		f.buf = make([]byte, ln) //lmvet:ignore allocguard frame buffer grows once to the stream's largest frame, then every read reuses it
+	}
+	payload := f.buf[:ln]
+	n, err := io.ReadFull(f.br, payload)
+	f.off += int64(n)
+	if err != nil {
+		return nil, f.readErr(err)
+	}
+	f.frame++
+	return payload, nil
+}
+
+// readUvarint reads one canonical length prefix byte-by-byte. io.EOF at
+// the first byte is the clean end of the stream.
+func (f *frameReader) readUvarint() (uint64, error) {
+	var v uint64
+	for i := 0; ; i++ {
+		c, err := f.br.ReadByte()
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, f.readErr(err)
+		}
+		f.off++
+		if i == maxVarintLen-1 && c > 1 {
+			return 0, f.corruptHere(ErrOverlongVarint)
+		}
+		if c < 0x80 {
+			if c == 0 && i > 0 {
+				return 0, f.corruptHere(ErrOverlongVarint)
+			}
+			return v | uint64(c)<<(7*i), nil
+		}
+		if i == maxVarintLen-1 {
+			return 0, f.corruptHere(ErrOverlongVarint)
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+	}
+}
+
+// Scanner streams attributed results from a wire archive, transparently
+// decompressing gzip. It owns one Result that every Scan decodes into.
+type Scanner struct {
+	f   frameReader
+	res traceroute.Result
+	asn bgp.ASN
+}
+
+// NewScanner wraps r, which must carry a StreamResults wire stream
+// (optionally gzip-compressed). The header is validated on the first
+// Scan.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{f: newFrameReader(r)}
+}
+
+// Scan advances to the next result. It returns false at end of input or
+// on the first error; check Err. Each Scan overwrites the Result
+// returned by Result.
+//
+//lmvet:hotpath
+func (s *Scanner) Scan() bool {
+	if s.f.err != nil {
+		return false
+	}
+	payload, err := s.f.next(StreamResults)
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.f.err = err
+		return false
+	}
+	asn, err := DecodeResultInto(&s.res, payload)
+	if err != nil {
+		s.f.err = s.f.corruptHere(err)
+		return false
+	}
+	s.asn = asn
+	return true
+}
+
+// Result returns the result decoded by the last successful Scan. The
+// pointer and everything it references are valid until the next Scan
+// call, which reuses the same storage; callers that retain a result
+// across Scans must Clone it (or CopyFrom into their own Result).
+func (s *Scanner) Result() *traceroute.Result { return &s.res }
+
+// ASN returns the origin AS attributed to the last scanned result.
+func (s *Scanner) ASN() bgp.ASN { return s.asn }
+
+// Err returns the first error encountered, or nil at clean end of
+// input.
+func (s *Scanner) Err() error { return s.f.err }
+
+// LogScanner streams CDN access-log entries from a wire archive.
+type LogScanner struct {
+	f     frameReader
+	entry cdn.LogEntry
+}
+
+// NewLogScanner wraps r, which must carry a StreamCDNLog wire stream
+// (optionally gzip-compressed).
+func NewLogScanner(r io.Reader) *LogScanner {
+	return &LogScanner{f: newFrameReader(r)}
+}
+
+// Scan advances to the next entry. It returns false at end of input or
+// on the first error; check Err.
+//
+//lmvet:hotpath
+func (s *LogScanner) Scan() bool {
+	if s.f.err != nil {
+		return false
+	}
+	payload, err := s.f.next(StreamCDNLog)
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.f.err = err
+		return false
+	}
+	if err := DecodeLogInto(&s.entry, payload); err != nil {
+		s.f.err = s.f.corruptHere(err)
+		return false
+	}
+	return true
+}
+
+// Entry returns the entry decoded by the last successful Scan.
+func (s *LogScanner) Entry() cdn.LogEntry { return s.entry }
+
+// Err returns the first error encountered, or nil at clean end of
+// input.
+func (s *LogScanner) Err() error { return s.f.err }
+
+// Reader is random access over an uncompressed wire archive through an
+// io.ReaderAt — the mmap-friendly replay path. Frames are
+// self-delimiting, so Index recovers every frame boundary in one linear
+// scan of the length prefixes, and ResultAt decodes any frame without
+// touching the rest of the archive.
+type Reader struct {
+	r    io.ReaderAt
+	size int64
+	typ  byte
+}
+
+// NewReader validates the stream header and returns a random-access
+// reader over the archive's size bytes.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	var hdr [HeaderLen]byte
+	if size < HeaderLen {
+		if size >= 4 {
+			b := hdr[:size]
+			if _, err := r.ReadAt(b, 0); err == nil && IsMagic(b) {
+				return nil, ErrShortFrame
+			}
+		}
+		return nil, ErrBadMagic
+	}
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	typ, err := checkHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: r, size: size, typ: typ}, nil
+}
+
+// StreamType returns the archive's stream-type byte.
+func (rd *Reader) StreamType() byte { return rd.typ }
+
+// Index returns the stream offset of every frame's length prefix, in
+// order — the seek table for ResultAt. A truncated or corrupt length
+// prefix surfaces as a typed error locating the broken frame.
+func (rd *Reader) Index() ([]int64, error) {
+	var offs []int64
+	off := int64(HeaderLen)
+	for off < rd.size {
+		ln, n, err := rd.prefixAt(off)
+		if err != nil {
+			return nil, corrupt(len(offs), off, err)
+		}
+		if ln > MaxFrame {
+			return nil, corrupt(len(offs), off, ErrFrameTooLarge)
+		}
+		end := off + int64(n) + int64(ln)
+		if end > rd.size {
+			return nil, corrupt(len(offs), off, ErrShortFrame)
+		}
+		offs = append(offs, off)
+		off = end
+	}
+	return offs, nil
+}
+
+// ResultAt decodes the frame whose length prefix starts at off
+// (normally an Index entry) into dst, returning the attributed AS and
+// the offset of the next frame. The archive must carry StreamResults.
+func (rd *Reader) ResultAt(off int64, dst *traceroute.Result) (bgp.ASN, int64, error) {
+	if rd.typ != StreamResults {
+		return 0, 0, ErrStreamType
+	}
+	ln, n, err := rd.prefixAt(off)
+	if err != nil {
+		return 0, 0, corrupt(-1, off, err)
+	}
+	if ln > MaxFrame {
+		return 0, 0, corrupt(-1, off, ErrFrameTooLarge)
+	}
+	end := off + int64(n) + int64(ln)
+	if end > rd.size {
+		return 0, 0, corrupt(-1, off, ErrShortFrame)
+	}
+	payload := make([]byte, ln)
+	if _, err := rd.r.ReadAt(payload, off+int64(n)); err != nil {
+		return 0, 0, err
+	}
+	asn, err := DecodeResultInto(dst, payload)
+	if err != nil {
+		return 0, 0, corrupt(-1, off, err)
+	}
+	return asn, end, nil
+}
+
+// prefixAt decodes the canonical length prefix at off.
+func (rd *Reader) prefixAt(off int64) (uint64, int, error) {
+	var win [maxVarintLen]byte
+	w := win[:]
+	if rem := rd.size - off; rem < int64(len(w)) {
+		w = w[:rem]
+	}
+	if _, err := rd.r.ReadAt(w, off); err != nil && err != io.EOF {
+		return 0, 0, err
+	}
+	return uvarint(w)
+}

@@ -1,0 +1,58 @@
+package wire
+
+// Canonical LEB128 varints. Encoding is the standard 7-bits-per-byte
+// little-endian form; decoding additionally rejects overlong (non-minimal)
+// encodings, so every uint64 has exactly one byte representation and the
+// codec is bijective — the property the determinism tests and the
+// round-trip fuzz rely on.
+
+// maxVarintLen is the longest canonical encoding of a uint64.
+const maxVarintLen = 10
+
+// appendUvarint appends v in canonical LEB128 form.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// zigzag folds a signed value into the unsigned varint space so small
+// magnitudes of either sign stay short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendZigzag appends a signed value as a zigzag uvarint.
+func appendZigzag(dst []byte, v int64) []byte { return appendUvarint(dst, zigzag(v)) }
+
+// uvarint decodes a canonical uvarint from b, returning the value and
+// the number of bytes consumed. Errors: ErrShortFrame when b ends
+// mid-varint, ErrOverlongVarint for a non-minimal or >64-bit encoding.
+//
+//lmvet:hotpath
+func uvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if i == maxVarintLen-1 && c > 1 {
+			// The 10th byte may only contribute the top bit of a uint64.
+			return 0, 0, ErrOverlongVarint
+		}
+		if c < 0x80 {
+			if c == 0 && i > 0 {
+				// A zero continuation byte means the same value had a
+				// shorter encoding.
+				return 0, 0, ErrOverlongVarint
+			}
+			return v | uint64(c)<<(7*i), i + 1, nil
+		}
+		if i == maxVarintLen-1 {
+			return 0, 0, ErrOverlongVarint
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+	}
+	return 0, 0, ErrShortFrame
+}

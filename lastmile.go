@@ -30,6 +30,7 @@
 package lastmile
 
 import (
+	"bufio"
 	"io"
 	"net/netip"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/cdn"
 	"github.com/last-mile-congestion/lastmile/internal/core"
 	"github.com/last-mile-congestion/lastmile/internal/dsp"
+	lmioutil "github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/ipnet"
 	lm "github.com/last-mile-congestion/lastmile/internal/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/stats"
@@ -47,6 +49,7 @@ import (
 	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/timeseries"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+	"github.com/last-mile-congestion/lastmile/internal/wire"
 )
 
 // --- Traceroute results (RIPE Atlas format) ---
@@ -66,17 +69,92 @@ func ParseAtlasResult(data []byte) (*Result, error) { return traceroute.ParseAtl
 // MarshalAtlasResult encodes a result in the RIPE Atlas JSON format.
 func MarshalAtlasResult(r *Result) ([]byte, error) { return traceroute.MarshalAtlas(r) }
 
-// ResultScanner streams results from newline-delimited Atlas JSON.
-type ResultScanner = traceroute.Scanner
+// ResultScanner streams traceroute results from an archive in either
+// supported encoding — newline-delimited Atlas JSON or the binary wire
+// format — detected automatically by NewResultScanner.
+type ResultScanner interface {
+	// Scan advances to the next result. It returns false at end of
+	// input or on the first error; check Err.
+	Scan() bool
+	// Result returns the result decoded by the last successful Scan.
+	// The pointer and everything it references are valid until the next
+	// Scan call, which reuses the same storage; callers that retain a
+	// result across Scans must Clone it (or CopyFrom into their own
+	// Result).
+	Result() *Result
+	// ASN returns the origin AS attributed to the last scanned result
+	// in the archive itself. JSON archives carry no attribution, so the
+	// JSON scanner always reports 0.
+	ASN() ASN
+	// Err returns the first error encountered, or nil at clean end of
+	// input.
+	Err() error
+}
 
-// NewResultScanner wraps r for JSONL traceroute input.
-func NewResultScanner(r io.Reader) *ResultScanner { return traceroute.NewScanner(r) }
+// NewResultScanner wraps r for traceroute input, transparently
+// decompressing gzip and detecting the encoding by its leading bytes: a
+// wire stream signature selects the binary decoder, anything else is
+// read as Atlas JSONL.
+func NewResultScanner(r io.Reader) ResultScanner {
+	rd, isWire := sniffWire(r)
+	if isWire {
+		return wire.NewScanner(rd)
+	}
+	return jsonResultScanner{traceroute.NewScanner(rd)}
+}
+
+// jsonResultScanner adapts the JSONL scanner, which has no in-band AS
+// attribution, to the ResultScanner interface.
+type jsonResultScanner struct{ *traceroute.Scanner }
+
+// ASN always reports 0: JSON archives carry no attribution.
+func (jsonResultScanner) ASN() ASN { return 0 }
+
+// sniffWire peeks past an optional gzip layer at the first bytes of r
+// and reports whether they carry the wire stream signature. The
+// returned reader replays the stream from the start.
+func sniffWire(r io.Reader) (io.Reader, bool) {
+	rd, err := lmioutil.MaybeGzip(r)
+	if err != nil {
+		// A broken gzip header surfaces as the chosen scanner's first
+		// error.
+		return errReader{err}, false
+	}
+	br := bufio.NewReader(rd)
+	head, _ := br.Peek(4)
+	return br, wire.IsMagic(head)
+}
+
+// errReader surfaces a sniff-time error on the first read.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
 
 // ResultWriter streams results as newline-delimited Atlas JSON.
 type ResultWriter = traceroute.Writer
 
 // NewResultWriter wraps w for JSONL traceroute output.
 func NewResultWriter(w io.Writer) *ResultWriter { return traceroute.NewWriter(w) }
+
+// WireWriter streams attributed results or CDN log entries in the
+// compact binary wire format — the fast, zero-allocation counterpart of
+// the JSON and CSV writers. Archives it produces are read back through
+// NewResultScanner / NewLogScanner, which detect the format
+// automatically.
+type WireWriter = wire.Writer
+
+// NewBinaryResultWriter wraps w for binary traceroute output. Each
+// result is written with its origin AS, so the archive round-trips the
+// attribution that JSON archives must reconstruct from a RIB or probe
+// metadata.
+func NewBinaryResultWriter(w io.Writer) *WireWriter {
+	return wire.NewWriter(w, wire.StreamResults)
+}
+
+// NewBinaryLogWriter wraps w for binary CDN access-log output.
+func NewBinaryLogWriter(w io.Writer) *WireWriter {
+	return wire.NewWriter(w, wire.StreamCDNLog)
+}
 
 // --- Last-mile estimation (§2.1) ---
 
@@ -260,9 +338,30 @@ const (
 	CacheMiss = cdn.Miss
 )
 
+// LogScanner streams CDN access-log entries from an archive in either
+// supported encoding — CSV or the binary wire format — detected
+// automatically by NewLogScanner.
+type LogScanner interface {
+	// Scan advances to the next entry. It returns false at end of input
+	// or on the first error; check Err.
+	Scan() bool
+	// Entry returns the entry decoded by the last successful Scan.
+	Entry() LogEntry
+	// Err returns the first error encountered, or nil at clean end of
+	// input.
+	Err() error
+}
+
 // NewLogScanner streams log entries from the CSV produced by
-// NewLogWriter.
-func NewLogScanner(r io.Reader) *cdn.Scanner { return cdn.NewScanner(r) }
+// NewLogWriter or the binary wire format produced by NewBinaryLogWriter,
+// detecting the encoding (and gzip compression) automatically.
+func NewLogScanner(r io.Reader) LogScanner {
+	rd, isWire := sniffWire(r)
+	if isWire {
+		return wire.NewLogScanner(rd)
+	}
+	return cdn.NewScanner(rd)
+}
 
 // NewLogWriter streams log entries as CSV.
 func NewLogWriter(w io.Writer) *cdn.Writer { return cdn.NewWriter(w) }

@@ -32,11 +32,52 @@
 # growth amortise to their steady state; the checked-in allocs_per_op of
 # 0 for the ingest rows is the zero-alloc hot-path contract in data
 # form, and check.sh asserts it independently.
+#
+# Record mode also re-measures the decode path (BenchmarkIngest*: stdlib
+# JSON vs the zero-alloc JSON parser vs the binary wire decoder, plus
+# the end-to-end archive replays) and rewrites BENCH_ingest.json. Those
+# rows carry MB/s so the JSON-vs-binary decode ratio is visible in the
+# snapshot; the 0 allocs_per_op on the two Decode rows (JSON and Wire,
+# not Stdlib) is the decode hot-path contract check.sh gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# render_json RAW OUT NOTE — turn `go test -bench` result lines like
+#   BenchmarkMonitorObserve/shards=1-8  200000  591.0 ns/op  288 B/op  0 allocs/op
+# into a JSON array in run order, values floored to integers so the
+# checked-in snapshot diffs cleanly. Rows with a MB/s column (benches
+# that call b.SetBytes) gain an mb_per_s field.
+render_json() {
+  awk -v note="$3" '
+    /^Benchmark/ && /allocs\/op/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+      ns = ""; bytes = ""; allocs = ""; mbs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "MB/s")      mbs = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      n++
+      line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %d", name, ns)
+      if (mbs != "") line = line sprintf(", \"mb_per_s\": %d", mbs)
+      line = line sprintf(", \"bytes_per_op\": %d, \"allocs_per_op\": %d}", bytes, allocs)
+      lines[n] = line
+    }
+    END {
+      printf "{\n"
+      printf "  \"note\": \"%s\",\n", note
+      printf "  \"benchmarks\": [\n"
+      for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+      printf "  ]\n}\n"
+    }
+  ' "$1" > "$2"
+  echo "==> wrote $2" >&2
+  cat "$2"
+}
+
 record() {
-  local out="BENCH_engine.json"
   local raw
   raw="$(mktemp)"
   trap 'rm -f "$raw"' RETURN
@@ -45,35 +86,14 @@ record() {
   go test -run '^$' -bench 'BenchmarkMonitorObserve' -benchmem -benchtime 200000x -count=1 . | tee -a "$raw" >&2
   echo "==> measuring BenchmarkFig2 (500 iterations)" >&2
   go test -run '^$' -bench 'BenchmarkFig2$' -benchmem -benchtime 500x -count=1 . | tee -a "$raw" >&2
+  render_json "$raw" BENCH_engine.json \
+    "hot-path benchmark snapshot; regenerate with scripts/bench.sh record"
 
-  # Benchmark result lines look like:
-  #   BenchmarkMonitorObserve/shards=1-8  200000  591.0 ns/op  288 B/op  0 allocs/op
-  # Render them as a JSON array in run order (fixed by the two go test
-  # invocations above), values floored to integers so the checked-in
-  # snapshot diffs cleanly.
-  awk '
-    /^Benchmark/ && /allocs\/op/ {
-      name = $1
-      sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-      ns = ""; bytes = ""; allocs = ""
-      for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
-      }
-      n++
-      lines[n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}", name, ns, bytes, allocs)
-    }
-    END {
-      printf "{\n"
-      printf "  \"note\": \"hot-path benchmark snapshot; regenerate with scripts/bench.sh record\",\n"
-      printf "  \"benchmarks\": [\n"
-      for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
-      printf "  ]\n}\n"
-    }
-  ' "$raw" > "$out"
-  echo "==> wrote $out" >&2
-  cat "$out"
+  : > "$raw"
+  echo "==> measuring BenchmarkIngest* (decode + replay, 200 iterations)" >&2
+  go test -run '^$' -bench 'BenchmarkIngest' -benchmem -benchtime 200x -count=1 . | tee -a "$raw" >&2
+  render_json "$raw" BENCH_ingest.json \
+    "ingest decode benchmark snapshot (one op = one synthetic campaign day); regenerate with scripts/bench.sh record"
 }
 
 if [[ "${1:-}" == "record" ]]; then

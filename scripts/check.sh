@@ -42,11 +42,16 @@ go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal
 echo "==> go test -race -count=1 (telemetry stress)"
 go test -race -count=1 ./internal/telemetry/
 
-# Fuzz smoke: a short coverage-guided run over the Atlas JSON parser.
-# Seeds (testdata/fuzz + f.Add) always run under plain `go test`; this
-# stage gives the mutator a few seconds to hunt for fresh panics.
+# Fuzz smoke: short coverage-guided runs over the two ingest decoders —
+# the Atlas JSON parser (which also differential-tests the zero-alloc
+# parser against encoding/json) and the binary wire codec's round-trip
+# target. Seeds (testdata/fuzz + f.Add) always run under plain
+# `go test`; these stages give the mutator a few seconds to hunt for
+# fresh panics.
 echo "==> go test -fuzz (Atlas JSON parser, 5s smoke)"
 go test -run '^$' -fuzz 'FuzzParseAtlasJSON' -fuzztime 5s ./internal/traceroute/
+echo "==> go test -fuzz (wire codec, 5s smoke)"
+go test -run '^$' -fuzz 'FuzzWireRoundTrip' -fuzztime 5s ./internal/wire/
 
 # Benchmark smoke: every bench must still run one iteration cleanly.
 echo "==> go test -bench (smoke, 1 iteration)"
@@ -78,6 +83,26 @@ go test -run '^$' -bench 'BenchmarkMonitorObserve' -benchmem -benchtime 200000x 
       END {
         if (rows == 0) { print "zero-alloc gate: no benchmark rows parsed" > "/dev/stderr"; exit 1 }
         if (bad > 0)   { print "zero-alloc gate: " bad " row(s) allocate on the hot path" > "/dev/stderr"; exit 1 }
+      }'
+
+# Decode hot-path gate: the two steady-state decode benches — the
+# zero-alloc JSON parser and the binary wire decoder — must each report
+# exactly 0 allocs/op. One op decodes a full synthetic campaign day
+# (~576 results) into a reused Result, so 200 iterations amortise
+# scratch growth to steady state. BenchmarkIngestDecodeJSONStdlib is the
+# encoding/json baseline and is deliberately excluded.
+echo "==> zero-alloc decode gate (BenchmarkIngestDecode{JSON,Wire}, 0 allocs/op)"
+go test -run '^$' -bench 'BenchmarkIngestDecodeJSON$|BenchmarkIngestDecodeWire$' \
+  -benchmem -benchtime 200x -count=1 . \
+  | tee /dev/stderr \
+  | awk '
+      /^Benchmark/ && /allocs\/op/ {
+        rows++
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op" && $(i-1) != "0") bad++
+      }
+      END {
+        if (rows != 2) { print "decode gate: expected 2 benchmark rows, parsed " rows > "/dev/stderr"; exit 1 }
+        if (bad > 0)   { print "decode gate: " bad " row(s) allocate on the decode hot path" > "/dev/stderr"; exit 1 }
       }'
 
 echo "==> all checks passed"
