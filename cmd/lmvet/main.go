@@ -6,9 +6,17 @@
 // monitor, goroutine fan-out that bypasses the worker-pool index
 // discipline, dropped Close/Flush errors on the ingest/report paths,
 // hidden allocations reachable from //lmvet:hotpath roots (allocguard,
-// over the intraprocedural escape/provenance dataflow lattice), and
+// over the intraprocedural escape/provenance dataflow lattice),
 // lock-acquisition-order cycles plus unsampled telemetry under hot
-// locks (lockorder, over the module-wide lock graph).
+// locks (lockorder, over the module-wide lock graph), and — over the
+// goflow goroutine/channel lifecycle summaries — goroutines that can
+// outlive their spawner (goleak), channel ownership-protocol violations
+// such as close by a non-sender, double close, send after close, and
+// default-polled completion signals (chanprotocol), and context.Context
+// parameters never threaded into blocking work (ctxflow). The three
+// concurrency analyzers are interprocedural: blocking effects reached
+// through channel-valued parameters are reported at the spawn or call
+// site with a dettaint-style witness chain.
 //
 // Usage:
 //

@@ -360,3 +360,83 @@ func TestWorkersOutputIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestConcurrencyAnalyzersIntegration(t *testing.T) {
+	code, stdout, _ := exec(t, "testdata/concdirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, stdout)
+	}
+	for _, want := range []string{"goleak", "chanprotocol", "ctxflow", "lmmonitor interrupt-race shape"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	// Disabling the three concurrency analyzers restores a clean exit.
+	code, stdout, stderr := exec(t, "-goleak=false", "-chanprotocol=false", "-ctxflow=false", "testdata/concdirty")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with concurrency analyzers disabled; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+}
+
+func TestWorkersIdenticalWithConcurrencyAnalyzers(t *testing.T) {
+	dirs := []string{"testdata/multi/a", "testdata/multi/b", "testdata/multi/c", "testdata/concdirty"}
+	serial, serialErr := "", ""
+	for i, workers := range []string{"1", "8"} {
+		args := append([]string{"-workers=" + workers}, dirs...)
+		code, stdout, stderr := exec(t, args...)
+		if code != 1 {
+			t.Fatalf("workers=%s exit = %d, want 1; stderr=%q", workers, code, stderr)
+		}
+		if i == 0 {
+			serial, serialErr = stdout, stderr
+			if !strings.Contains(serial, "goleak") || !strings.Contains(serial, "floatcmp") {
+				t.Fatalf("expected module-wide and per-package findings together, got: %q", serial)
+			}
+			continue
+		}
+		if stdout != serial {
+			t.Errorf("stdout differs between -workers=1 and -workers=%s:\n%q\nvs\n%q", workers, serial, stdout)
+		}
+		if stderr != serialErr {
+			t.Errorf("stderr differs between -workers=1 and -workers=%s:\n%q\nvs\n%q", workers, serialErr, stderr)
+		}
+	}
+}
+
+func TestSARIFUnwritablePathExitsTwo(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("a plain file, not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := exec(t, "-sarif", filepath.Join(blocker, "out.sarif"), "testdata/dirty")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "lmvet:") {
+		t.Errorf("stderr missing error report: %q", stderr)
+	}
+}
+
+func TestWriteBaselineUnwritablePathExitsTwo(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("a plain file, not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := exec(t, "-baseline", filepath.Join(blocker, "lmvet.baseline"), "-write-baseline", "testdata/dirty")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+}
+
+func TestUnknownAnalyzerFlagExitsTwo(t *testing.T) {
+	// Analyzer switches are generated from the registry; a flag for an
+	// analyzer that does not exist must fail flag parsing, not be
+	// silently accepted.
+	code, _, stderr := exec(t, "-nosuchanalyzer=false", "testdata/clean")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "nosuchanalyzer") {
+		t.Errorf("stderr does not name the unknown flag: %q", stderr)
+	}
+}

@@ -1,0 +1,30 @@
+// Package concdirty trips all three concurrency-lifecycle analyzers:
+// a leaked sender for goleak, a default-polled completion signal for
+// chanprotocol (the lmmonitor race shape), and an unthreaded context
+// parameter for ctxflow.
+package concdirty
+
+import "context"
+
+// Leak spawns a sender nothing ever receives from.
+func Leak() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Poll can drop a completion signal behind its default arm.
+func Poll(results chan int) (int, bool) {
+	select {
+	case v, ok := <-results:
+		return v, ok
+	default:
+		return 0, true
+	}
+}
+
+// Wait accepts ctx and ignores it while blocking.
+func Wait(ctx context.Context, in chan int) int {
+	return <-in
+}

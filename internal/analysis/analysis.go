@@ -14,8 +14,13 @@
 // ingest/report paths (errclose), and telemetry misuse that would put
 // registry lookups on hot paths or fork atomic metric state
 // (metricsafe), hidden allocations on //lmvet:hotpath-annotated ingest
-// paths (allocguard), and lock-acquisition-order cycles or unsampled
-// telemetry under hot locks (lockorder).
+// paths (allocguard), lock-acquisition-order cycles or unsampled
+// telemetry under hot locks (lockorder), and — over the goflow
+// concurrency-lifecycle summaries — goroutines that can outlive their
+// spawner (goleak), channel ownership-protocol violations like close by
+// a non-sender or a default-polled completion signal (chanprotocol), and
+// context.Context parameters never threaded into blocking work
+// (ctxflow).
 package analysis
 
 import (
@@ -148,6 +153,9 @@ func All() []*Analyzer {
 		MetricSafeAnalyzer,
 		AllocGuardAnalyzer,
 		LockOrderAnalyzer,
+		GoLeakAnalyzer,
+		ChanProtocolAnalyzer,
+		CtxFlowAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

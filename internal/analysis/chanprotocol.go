@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChanProtocolAnalyzer enforces the channel ownership protocol over the
+// goflow summaries: the sender owns the close, a channel closes once,
+// nothing sends after close, and completion signals are consumed, not
+// polled away. Four rules:
+//
+//   - close by non-sender: a scope (the spawner's flow or one goroutine)
+//     closes a channel whose sends all happen in other scopes, without
+//     first joining them (WaitGroup.Wait in the closing scope). A send
+//     racing the close panics. Closes of channels nothing sends on are
+//     the done-broadcast idiom and stay silent;
+//   - double close: two unconditional closes of the same channel in one
+//     linear scope, a close inside a loop the channel was made outside
+//     of, or a close followed by a call to a callee that closes its
+//     parameter (reported with the witness chain);
+//   - send after close: an unconditional send (direct, or via a callee's
+//     parameter effects) positioned after an unconditional close in the
+//     same scope — a guaranteed panic. Deferred closes run at scope exit
+//     and cannot precede body sends;
+//   - select-default completion drop: a select with a default arm and a
+//     comma-ok receive case — the shape of the fixed lmmonitor race. If
+//     the completion close lands after the poll, the default arm runs
+//     instead and the signal is lost; fatal when the default body exits
+//     or the select never re-polls (outside a loop).
+//
+// The linear rules only trust unconditional, straight-line events —
+// branch-dependent closes are the author's protocol to get right — so
+// every report here is a guaranteed-order defect, not a maybe.
+var ChanProtocolAnalyzer = &Analyzer{
+	Name:      "chanprotocol",
+	Doc:       "enforces channel ownership: close by the sender only, close once, never send after close, never default-poll away a completion signal",
+	RunModule: runChanProtocol,
+}
+
+func runChanProtocol(mp *ModulePass) error {
+	ci := concInfoOf(mp.Prog)
+	for _, node := range mp.Prog.Nodes() {
+		if !mp.requested(node.Pkg) {
+			continue
+		}
+		fc := ci.funcs[node]
+		if fc == nil {
+			continue
+		}
+		checkLinearProtocol(mp, ci, fc)
+		checkCloseOwnership(mp, ci, fc)
+		checkSelectDefaultDrop(mp, fc)
+	}
+	return nil
+}
+
+// simScope returns the linear-simulation scope key for an op: nil for
+// the declaration's own flow, the literal for ops directly inside a
+// spawned literal, and notLinear for ops in non-spawned literals (their
+// execution time is unknown).
+var notLinear = new(ast.FuncLit)
+
+func simScope(op *chanOp) *ast.FuncLit {
+	if op.lit == nil {
+		return nil
+	}
+	if op.lit == op.goLit {
+		return op.lit
+	}
+	return notLinear
+}
+
+// trackable reports whether ch has stable identity for protocol rules:
+// made locally or received as a parameter, and never escaped.
+func trackable(fc *funcConc, ch *types.Var) bool {
+	if ch == nil || fc.escaped[ch] {
+		return false
+	}
+	if fc.madeAt[ch] != nil {
+		return true
+	}
+	sig := fc.node.Func.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLinearProtocol runs the position-ordered simulation per scope:
+// double close, close-in-loop, and send-after-close.
+func checkLinearProtocol(mp *ModulePass, ci *concInfo, fc *funcConc) {
+	type closeState struct {
+		op    *chanOp
+		chain string // witness chain when the close came via a callee
+	}
+	closed := make(map[*ast.FuncLit]map[*types.Var]closeState)
+	stateFor := func(scope *ast.FuncLit) map[*types.Var]closeState {
+		m := closed[scope]
+		if m == nil {
+			m = make(map[*types.Var]closeState)
+			closed[scope] = m
+		}
+		return m
+	}
+
+	for k := range fc.ops {
+		op := &fc.ops[k]
+		if !trackable(fc, op.ch) {
+			continue
+		}
+		scope := simScope(op)
+		if scope == notLinear {
+			continue
+		}
+		st := stateFor(scope)
+
+		switch op.kind {
+		case opClose:
+			if op.loop != nil {
+				made := fc.madeAt[op.ch]
+				if made == nil || made.loop != op.loop {
+					mp.Reportf(op.pos,
+						"channel %s is closed inside a loop but made outside it: the second iteration closes a closed channel and panics; make the channel per iteration or close it after the loop",
+						op.ch.Name())
+				}
+			}
+			if !op.uncond || op.deferred {
+				continue
+			}
+			if prev, dup := st[op.ch]; dup {
+				mp.Reportf(op.pos,
+					"second close of %s: already closed at %s%s; closing a closed channel panics — close exactly once, from one owner",
+					op.ch.Name(), posLabel(mp, prev.op.pos), prev.chain)
+				continue
+			}
+			st[op.ch] = closeState{op: op}
+		case opSend:
+			if op.sel != nil || !op.uncond {
+				continue
+			}
+			if prev, ok := st[op.ch]; ok {
+				mp.Reportf(op.pos,
+					"send on %s after it was closed at %s%s: a send on a closed channel panics; send before closing, or hand ownership of the close to the sender",
+					op.ch.Name(), posLabel(mp, prev.op.pos), prev.chain)
+			}
+		case opPass:
+			if !op.uncond {
+				continue
+			}
+			pe := ci.paramEffects(op.callee)
+			if op.argIdx >= len(pe) {
+				continue
+			}
+			bits := pe[op.argIdx].bits
+			if prev, ok := st[op.ch]; ok && bits&effAnySend != 0 {
+				bit := effSend
+				if bits&effSend == 0 {
+					bit = effSelectSend
+				}
+				names, pos := ci.effChain(op.callee, op.argIdx, bit)
+				mp.Reportf(op.pos,
+					"call can send on %s after it was closed at %s: %s ← send (%s); a send on a closed channel panics",
+					op.ch.Name(), posLabel(mp, prev.op.pos), strings.Join(names, " ← "), posLabel(mp, pos))
+			}
+			if bits&effClose != 0 {
+				if prev, dup := st[op.ch]; dup {
+					names, pos := ci.effChain(op.callee, op.argIdx, effClose)
+					mp.Reportf(op.pos,
+						"call closes %s again: already closed at %s; %s ← close (%s); closing a closed channel panics",
+						op.ch.Name(), posLabel(mp, prev.op.pos), strings.Join(names, " ← "), posLabel(mp, pos))
+				} else {
+					names, _ := ci.effChain(op.callee, op.argIdx, effClose)
+					st[op.ch] = closeState{op: op, chain: " via " + strings.Join(names, " ← ")}
+				}
+			}
+		}
+	}
+}
+
+// checkCloseOwnership implements close-by-non-sender across scopes.
+func checkCloseOwnership(mp *ModulePass, ci *concInfo, fc *funcConc) {
+	for _, ch := range fc.vars {
+		if !trackable(fc, ch) {
+			continue
+		}
+		// Partition sends and closes by goroutine scope (goLit: nil means
+		// the spawner side, literals are individual goroutines).
+		sendScopes := make(map[*ast.FuncLit]bool)
+		var firstSend *chanOp
+		var sendChain string
+		var closes []*chanOp
+		closeChains := make(map[*chanOp]string)
+		for k := range fc.ops {
+			op := &fc.ops[k]
+			if op.ch != ch {
+				continue
+			}
+			switch op.kind {
+			case opSend:
+				sendScopes[op.goLit] = true
+				if firstSend == nil {
+					firstSend = op
+				}
+			case opClose:
+				closes = append(closes, op)
+			case opPass:
+				pe := ci.paramEffects(op.callee)
+				if op.argIdx >= len(pe) {
+					continue
+				}
+				bits := pe[op.argIdx].bits
+				if bits&effAnySend != 0 {
+					sendScopes[op.goLit] = true
+					if firstSend == nil {
+						firstSend = op
+						bit := effSend
+						if bits&effSend == 0 {
+							bit = effSelectSend
+						}
+						names, _ := ci.effChain(op.callee, op.argIdx, bit)
+						sendChain = " via " + strings.Join(names, " ← ")
+					}
+				}
+				if bits&effClose != 0 {
+					closes = append(closes, op)
+					names, _ := ci.effChain(op.callee, op.argIdx, effClose)
+					closeChains[op] = " via " + strings.Join(names, " ← ")
+				}
+			}
+		}
+		if len(sendScopes) == 0 {
+			continue // close-only channels are the done-broadcast idiom
+		}
+		for _, cl := range closes {
+			if sendScopes[cl.goLit] {
+				continue // the closing scope also sends: sender-side close
+			}
+			if joinedBeforeClose(fc, cl) {
+				continue // close happens after WaitGroup.Wait: senders done
+			}
+			mp.Reportf(cl.pos,
+				"close(%s)%s by a non-sender: sends happen in another goroutine (%s%s); a send racing this close panics — close from the sending side, or join the senders (WaitGroup.Wait) before closing",
+				ch.Name(), closeChains[cl], posLabel(mp, firstSend.pos), sendChain)
+		}
+	}
+}
+
+// joinedBeforeClose reports whether the closing scope waits on a
+// WaitGroup before the close executes — the collector idiom
+// `go func(){ wg.Wait(); close(ch) }()` or a Wait preceding the close in
+// the spawner. A deferred close runs at scope exit, after any Wait.
+func joinedBeforeClose(fc *funcConc, cl *chanOp) bool {
+	for _, w := range fc.wgs {
+		if w.name != "Wait" || w.goLit != cl.goLit {
+			continue
+		}
+		if cl.deferred || w.pos < cl.pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSelectDefaultDrop implements the lmmonitor-race rule.
+func checkSelectDefaultDrop(mp *ModulePass, fc *funcConc) {
+	for _, ss := range fc.sels {
+		if !ss.hasDefault || !ss.commaOkRecv {
+			continue
+		}
+		if !ss.defaultExits && ss.inLoop {
+			continue // an empty default in a loop re-polls next iteration
+		}
+		ch := "the channel"
+		if ss.commaOkChan != nil {
+			ch = ss.commaOkChan.Name()
+		}
+		mp.Reportf(ss.sel.Pos(),
+			"select with a default arm can drop the completion signal on %s: a close or send landing after this poll is never consumed and the end-of-stream is misread (the lmmonitor interrupt-race shape); remove the default arm or drain %s before exiting",
+			ch, ch)
+	}
+}

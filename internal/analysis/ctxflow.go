@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// CtxFlowAnalyzer checks that an accepted context.Context actually
+// governs the function's blocking behaviour:
+//
+//   - a named ctx parameter that is never read — not consulted
+//     (Done/Err/Deadline), not passed to any callee — in a function that
+//     blocks: a plain channel send or receive, a no-default select, a
+//     range over a channel, or a call into an in-program callee that
+//     itself takes a Context. Cancelling the caller then never unblocks
+//     this function; the parameter is a promise the body does not keep;
+//   - context.Background() or context.TODO() passed to a callee while
+//     the function's own ctx parameter is in scope — the cancellation
+//     chain is severed exactly where it was meant to be threaded.
+//
+// Methods that accept ctx purely to satisfy an interface can suppress
+// with `//lmvet:ignore ctxflow <reason>`, per the suite's
+// justify-or-fix policy.
+var CtxFlowAnalyzer = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "finds context.Context parameters never threaded into blocking work, and context.Background() calls that sever an in-scope cancellation chain",
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(mp *ModulePass) error {
+	ci := concInfoOf(mp.Prog)
+	for _, node := range mp.Prog.Nodes() {
+		if !mp.requested(node.Pkg) {
+			continue
+		}
+		fc := ci.funcs[node]
+		if fc == nil || fc.ctx.param == nil {
+			continue
+		}
+		if !fc.ctx.used {
+			if desc, pos, ok := blockingEvidence(fc); ok {
+				mp.Reportf(fc.ctx.param.Pos(),
+					"context parameter %s is never used, but the function blocks: %s at %s proceeds without cancellation; thread %s into the blocking op (a ctx.Done() arm or the callee) or drop the parameter",
+					fc.ctx.param.Name(), desc, posLabel(mp, pos), fc.ctx.param.Name())
+			}
+		}
+		for _, bg := range fc.ctx.bg {
+			mp.Reportf(bg.pos,
+				"%s passed to %s while %s is in scope: the cancellation chain is severed and the callee outlives the caller's deadline; pass %s through instead",
+				bg.src, bg.callee, fc.ctx.param.Name(), fc.ctx.param.Name())
+		}
+	}
+	return nil
+}
+
+// blockingEvidence finds the first (source-order) blocking operation in
+// the function: a plain send/recv/range, a select with no default arm,
+// or a call to an in-program callee that accepts a Context.
+func blockingEvidence(fc *funcConc) (string, token.Pos, bool) {
+	type candidate struct {
+		desc string
+		pos  token.Pos
+	}
+	var best *candidate
+	consider := func(desc string, pos token.Pos) {
+		if best == nil || pos < best.pos {
+			best = &candidate{desc: desc, pos: pos}
+		}
+	}
+	for k := range fc.ops {
+		op := &fc.ops[k]
+		if op.sel != nil {
+			continue // counted through the select summary
+		}
+		switch op.kind {
+		case opSend:
+			consider("a blocking send on "+op.class, op.pos)
+		case opRecv:
+			consider("a blocking receive from "+op.class, op.pos)
+		case opRangeRecv:
+			consider("a blocking range over "+op.class, op.pos)
+		}
+	}
+	for _, ss := range fc.sels {
+		if !ss.hasDefault {
+			consider("a blocking select", ss.sel.Pos())
+		}
+	}
+	for _, e := range fc.node.Calls {
+		if calleeTakesContext(e.Callee) {
+			consider("a call to "+e.Callee.DisplayName()+" (which accepts a Context)", e.Pos)
+		}
+	}
+	if best == nil {
+		return "", token.NoPos, false
+	}
+	return best.desc, best.pos, true
+}
+
+// calleeTakesContext reports whether the callee's signature includes a
+// context.Context parameter.
+func calleeTakesContext(n *FuncNode) bool {
+	sig := n.Func.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,930 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the concurrency-lifecycle summary layer the goleak,
+// chanprotocol, and ctxflow module analyzers build on — the concurrent
+// sibling of the dataflow layer (dataflow.go). For every function in the
+// module call graph it records, over go/ast + go/types only:
+//
+//   - goroutine spawn sites (literal or static callee, loop context);
+//   - channel operations — make/send/recv/range/close and channels passed
+//     to in-program callees — each tagged with its execution scope (the
+//     spawner's linear flow vs a specific go-literal), select membership,
+//     defer, loop, and branch conditionality;
+//   - sync.WaitGroup Add/Done/Wait events;
+//   - context.Context parameter usage;
+//   - select-statement summaries (default arm, comma-ok completion
+//     receives, ctx.Done arms);
+//   - infinite wait-loops and whether any path exits them.
+//
+// Channel identity is the *types.Var of a local, parameter, or captured
+// channel variable. Anything else — fields, globals, aliases, channels
+// handed to dynamic or out-of-module callees — marks the variable escaped,
+// and the analyzers treat escaped channels as having unknown counterparts.
+// The lattice is the same deliberate under-approximation as the call
+// graph's: every reported witness is a real, compilable path, at the cost
+// of silence where identity is lost.
+//
+// Effects on channel-typed parameters propagate transitively over the
+// call graph (chanEffect bits with per-bit witness links), so a blocking
+// send three helpers deep still surfaces at the spawn site that can leak,
+// with a dettaint-style witness chain.
+
+// chanEffect is a bit set describing what a function (transitively) does
+// with one channel-typed parameter.
+type chanEffect uint16
+
+const (
+	// effSend: a plain send outside any select — blocks until received.
+	effSend chanEffect = 1 << iota
+	// effSelectSend: a send as a select comm clause.
+	effSelectSend
+	// effRecv: a plain receive outside any select.
+	effRecv
+	// effSelectRecv: a receive as a select comm clause.
+	effSelectRecv
+	// effRangeRecv: for-range over the channel — drains until close.
+	effRangeRecv
+	// effClose: the channel is closed.
+	effClose
+	// effUnknown: the channel escapes analysis (stored, aliased, or
+	// passed where the summary cannot follow).
+	effUnknown
+)
+
+const effAnyRecv = effRecv | effSelectRecv | effRangeRecv
+const effAnySend = effSend | effSelectSend
+
+// chanOpKind enumerates the recorded channel operations.
+type chanOpKind uint8
+
+const (
+	opMake chanOpKind = iota
+	opSend
+	opRecv
+	opRangeRecv
+	opClose
+	// opPass: the channel is an argument to an in-program static callee;
+	// the callee's parameter effects apply at the call site's scope.
+	opPass
+)
+
+// chanOp is one channel operation in a function body, tagged with enough
+// scope context for the lifecycle analyzers to reason about it.
+type chanOp struct {
+	kind chanOpKind
+	// ch is the channel's variable identity; nil when unresolvable (field,
+	// global, call result) — such ops only feed blocking-evidence checks.
+	ch    *types.Var
+	class string // display name: variable name, "x.field", or "channel"
+	pos   token.Pos
+	// lit is the innermost enclosing function literal, nil for the
+	// declaration's own flow.
+	lit *ast.FuncLit
+	// goLit is the innermost enclosing go-spawned literal; ops with
+	// goLit == lit (or lit == nil) execute in a known linear scope.
+	goLit *ast.FuncLit
+	// sel is the select statement this op is a comm clause of, if any.
+	sel     *ast.SelectStmt
+	commaOk bool
+	// deferred marks `defer close(ch)` — it executes at scope exit.
+	deferred bool
+	// loop is the innermost enclosing for/range within the op's literal
+	// scope (loops outside the literal don't re-execute its body).
+	loop ast.Node
+	// uncond marks ops at straight-line depth in their scope: not inside
+	// any if/switch/select/loop. The protocol simulation (double close,
+	// send-after-close) only trusts unconditional ops.
+	uncond bool
+	// buffered is set on opMake when a nonzero (or non-constant) capacity
+	// was given.
+	buffered bool
+	// callee/argIdx/call describe an opPass.
+	callee *FuncNode
+	argIdx int
+	call   *ast.CallExpr
+}
+
+// spawnSite is one `go` statement.
+type spawnSite struct {
+	pos token.Pos
+	// lit is the spawned literal for `go func(){...}()`; nil for named
+	// spawns.
+	lit *ast.FuncLit
+	// callee is the in-program static callee for `go pkg.F(...)`.
+	callee *FuncNode
+	call   *ast.CallExpr
+	// outerLit / loop locate the go statement itself.
+	outerLit *ast.FuncLit
+	loop     ast.Node
+}
+
+// wgOp is one sync.WaitGroup method call.
+type wgOp struct {
+	pos   token.Pos
+	name  string // Add, Done, Wait
+	lit   *ast.FuncLit
+	goLit *ast.FuncLit
+	loop  ast.Node
+}
+
+// selectSummary describes one select statement for the lifecycle rules.
+type selectSummary struct {
+	sel     *ast.SelectStmt
+	lit     *ast.FuncLit
+	goLit   *ast.FuncLit
+	clauses int
+	inLoop  bool
+
+	hasDefault   bool
+	defaultPos   token.Pos
+	defaultExits bool // the default body returns/branches/terminates
+
+	commaOkRecv bool // some case is `v, ok := <-ch` (completion signal)
+	commaOkPos  token.Pos
+	commaOkChan *types.Var
+
+	hasCtxDone bool // some case receives from a context's Done()
+}
+
+// waitLoop is an infinite `for {}` whose body blocks on channel traffic.
+type waitLoop struct {
+	pos   token.Pos
+	lit   *ast.FuncLit
+	goLit *ast.FuncLit
+	exits bool // some path returns/breaks/terminates out of the loop
+}
+
+// bgCall is a call passing context.Background()/TODO() while the
+// enclosing function has its own Context parameter in scope.
+type bgCall struct {
+	pos    token.Pos
+	callee string // display name of the called function
+	src    string // "context.Background" or "context.TODO"
+}
+
+// ctxUse summarises a function's relationship to its Context parameter.
+type ctxUse struct {
+	param *types.Var // first named context.Context parameter, or nil
+	used  bool       // the parameter is read anywhere in the body
+	bg    []bgCall
+}
+
+// funcConc is the per-function concurrency summary.
+type funcConc struct {
+	node      *FuncNode
+	spawns    []spawnSite
+	ops       []chanOp
+	wgs       []wgOp
+	sels      []*selectSummary
+	selOf     map[*ast.SelectStmt]*selectSummary
+	waitLoops []waitLoop
+	ctx       ctxUse
+	// vars lists distinct resolved channel vars in first-appearance order
+	// (the analyzers' deterministic iteration order).
+	vars    []*types.Var
+	escaped map[*types.Var]bool
+	madeAt  map[*types.Var]*chanOp
+}
+
+// effWitness records how a parameter effect arose: a direct op in the
+// function (via == nil, pos set) or through a call passing the parameter
+// on to via's viaArg-th parameter.
+type effWitness struct {
+	pos    token.Pos
+	via    *FuncNode
+	viaArg int
+}
+
+// paramEffect is the transitive effect set of one parameter, with one
+// witness per effect bit.
+type paramEffect struct {
+	bits chanEffect
+	wit  map[chanEffect]*effWitness
+}
+
+// concInfo is the module-wide concurrency summary, built once per Program
+// and shared by the three lifecycle analyzers.
+type concInfo struct {
+	prog       *Program
+	funcs      map[*FuncNode]*funcConc
+	peMemo     map[*FuncNode][]paramEffect
+	peVisiting map[*FuncNode]bool
+}
+
+// concInfoOf lazily builds (and caches on the Program) the concurrency
+// summaries for every function node.
+func concInfoOf(prog *Program) *concInfo {
+	if prog.conc != nil {
+		return prog.conc
+	}
+	ci := &concInfo{
+		prog:       prog,
+		funcs:      make(map[*FuncNode]*funcConc),
+		peMemo:     make(map[*FuncNode][]paramEffect),
+		peVisiting: make(map[*FuncNode]bool),
+	}
+	for _, n := range prog.Nodes() {
+		ci.funcs[n] = buildFuncConc(ci, n)
+	}
+	prog.conc = ci
+	return ci
+}
+
+// chanVarIdent resolves e to a channel-typed variable identifier,
+// returning both the variable and the identifier (for accounting).
+func chanVarIdent(info *types.Info, e ast.Expr) (*types.Var, *ast.Ident) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil, nil
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return nil, nil
+	}
+	return v, id
+}
+
+// chanClassOf renders a display name for a channel expression.
+func chanClassOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "channel"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal*.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltin(info, id) {
+		return true
+	}
+	if p, name, ok := resolvePkgFunc(info, call); ok {
+		switch {
+		case p == "os" && name == "Exit":
+			return true
+		case p == "runtime" && name == "Goexit":
+			return true
+		case p == "log" && strings.HasPrefix(name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// bodyExits reports whether the statement list can transfer control out
+// of its enclosing select/switch arm: a return, a labeled branch, a goto,
+// or a terminating call. Unlabeled break/continue stay within the arm's
+// enclosing construct and do not count.
+func bodyExits(info *types.Info, stmts []ast.Stmt) bool {
+	exits := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if exits {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if n.Label != nil || n.Tok == token.GOTO {
+					exits = true
+				}
+			case *ast.CallExpr:
+				if isTerminalCall(info, n) {
+					exits = true
+				}
+			}
+			return !exits
+		})
+		if exits {
+			break
+		}
+	}
+	return exits
+}
+
+// loopExits reports whether control can leave the loop: a return, a
+// labeled branch or goto, an unlabeled break at loop level, or a
+// terminating call. Breaks swallowed by nested for/switch/select bodies
+// do not count.
+func loopExits(info *types.Info, loop *ast.ForStmt) bool {
+	type posRange struct{ lo, hi token.Pos }
+	var inner []posRange
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			inner = append(inner, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			inner = append(inner, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.SwitchStmt:
+			inner = append(inner, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.TypeSwitchStmt:
+			inner = append(inner, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.SelectStmt:
+			inner = append(inner, posRange{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	exits := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if exits {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Label != nil || n.Tok == token.GOTO {
+				exits = true
+				break
+			}
+			if n.Tok == token.BREAK {
+				covered := false
+				for _, r := range inner {
+					if r.lo <= n.Pos() && n.Pos() < r.hi {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					exits = true
+				}
+			}
+		case *ast.CallExpr:
+			if isTerminalCall(info, n) {
+				exits = true
+			}
+		}
+		return !exits
+	})
+	return exits
+}
+
+// wgMethodName matches a sync.WaitGroup method call.
+func wgMethodName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection == nil {
+		return "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || recvTypeName(recv.Type()) != "WaitGroup" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Add", "Done", "Wait":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// selComm tags a comm-clause operand with its select.
+type selComm struct {
+	sel     *ast.SelectStmt
+	commaOk bool
+}
+
+// buildFuncConc collects node's concurrency summary in one source-order
+// walk with an explicit ancestor stack.
+func buildFuncConc(ci *concInfo, node *FuncNode) *funcConc {
+	fc := &funcConc{
+		node:    node,
+		selOf:   make(map[*ast.SelectStmt]*selectSummary),
+		escaped: make(map[*types.Var]bool),
+		madeAt:  make(map[*types.Var]*chanOp),
+	}
+	info := node.Pkg.Info
+	body := node.Decl.Body
+
+	sig := node.Func.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) && p.Name() != "" && p.Name() != "_" {
+			fc.ctx.param = p
+			break
+		}
+	}
+
+	// Pre-pass: spawned literals and deferred calls.
+	spawnedLits := make(map[*ast.FuncLit]bool)
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				spawnedLits[lit] = true
+			}
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		}
+		return true
+	})
+
+	commSend := make(map[*ast.SendStmt]selComm)
+	commRecv := make(map[*ast.UnaryExpr]selComm)
+	accounted := make(map[*ast.Ident]bool)
+	seenVar := make(map[*types.Var]bool)
+
+	var stack []ast.Node
+
+	// ctxOf reads the ancestor stack (excluding the current node at the
+	// top) for the op's literal scope, loop, and branch conditionality.
+	ctxOf := func() (lit, goLit *ast.FuncLit, loop ast.Node, uncond bool) {
+		uncond = true
+		crossedLit := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch a := stack[i].(type) {
+			case *ast.FuncLit:
+				if !crossedLit {
+					lit = a
+					crossedLit = true
+				}
+				if goLit == nil && spawnedLits[a] {
+					goLit = a
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				if !crossedLit {
+					if loop == nil {
+						loop = a
+					}
+					uncond = false
+				}
+			case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if !crossedLit {
+					uncond = false
+				}
+			}
+		}
+		return
+	}
+
+	addOp := func(op chanOp) *chanOp {
+		lit, goLit, loop, uncond := ctxOf()
+		op.lit, op.goLit, op.loop, op.uncond = lit, goLit, loop, uncond
+		fc.ops = append(fc.ops, op)
+		if op.ch != nil && !seenVar[op.ch] {
+			seenVar[op.ch] = true
+			fc.vars = append(fc.vars, op.ch)
+		}
+		return &fc.ops[len(fc.ops)-1]
+	}
+
+	// localTo reports whether v is declared within this declaration
+	// (parameters, receiver, and body locals — including vars captured by
+	// its literals, which share the same declaration range).
+	localTo := func(v *types.Var) bool {
+		return v.Pos() >= node.Decl.Pos() && v.Pos() < node.Decl.End()
+	}
+
+	markCtxDone := func(e ast.Expr, ss *selectSummary) {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isContextType(typeOf(info, sel.X)) {
+					ss.hasCtxDone = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			_, goLit, loop, _ := ctxOf()
+			s := spawnSite{pos: n.Pos(), call: n.Call, loop: loop, outerLit: goLit}
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				s.lit = fl
+			} else if fn := StaticCallee(info, n.Call); fn != nil {
+				s.callee = ci.prog.Funcs[fn]
+			}
+			fc.spawns = append(fc.spawns, s)
+
+		case *ast.SelectStmt:
+			lit, goLit, loop, _ := ctxOf()
+			ss := &selectSummary{sel: n, lit: lit, goLit: goLit, inLoop: loop != nil, clauses: len(n.Body.List)}
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					ss.hasDefault = true
+					ss.defaultPos = cc.Pos()
+					ss.defaultExits = bodyExits(info, cc.Body)
+					continue
+				}
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					commSend[comm] = selComm{sel: n}
+				case *ast.ExprStmt:
+					if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						commRecv[u] = selComm{sel: n}
+						markCtxDone(u.X, ss)
+					}
+				case *ast.AssignStmt:
+					if len(comm.Rhs) == 1 {
+						if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							co := len(comm.Lhs) == 2
+							commRecv[u] = selComm{sel: n, commaOk: co}
+							if co && !ss.commaOkRecv {
+								ss.commaOkRecv = true
+								ss.commaOkPos = u.Pos()
+								ss.commaOkChan, _ = chanVarIdent(info, u.X)
+							}
+							markCtxDone(u.X, ss)
+						}
+					}
+				}
+			}
+			fc.sels = append(fc.sels, ss)
+			fc.selOf[n] = ss
+
+		case *ast.SendStmt:
+			v, id := chanVarIdent(info, n.Chan)
+			if id != nil {
+				accounted[id] = true
+			}
+			sc := commSend[n]
+			addOp(chanOp{kind: opSend, ch: v, class: chanClassOf(n.Chan), pos: n.Pos(), sel: sc.sel})
+
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				break
+			}
+			v, id := chanVarIdent(info, n.X)
+			if id != nil {
+				accounted[id] = true
+			}
+			sc, inSel := commRecv[n]
+			commaOk := sc.commaOk
+			if !inSel && len(stack) >= 2 {
+				if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+					commaOk = len(as.Lhs) == 2 && len(as.Rhs) == 1
+				}
+			}
+			addOp(chanOp{kind: opRecv, ch: v, class: chanClassOf(n.X), pos: n.Pos(), sel: sc.sel, commaOk: commaOk})
+
+		case *ast.RangeStmt:
+			if t := typeOf(info, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					v, id := chanVarIdent(info, n.X)
+					if id != nil {
+						accounted[id] = true
+					}
+					addOp(chanOp{kind: opRangeRecv, ch: v, class: chanClassOf(n.X), pos: n.Pos()})
+				}
+			}
+
+		case *ast.BinaryExpr:
+			// `ch == nil` / `ch != nil` is a benign read, not an escape.
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if _, id := chanVarIdent(info, side); id != nil {
+						accounted[id] = true
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && isBuiltin(info, id) {
+				switch id.Name {
+				case "close":
+					if len(n.Args) == 1 {
+						v, aid := chanVarIdent(info, n.Args[0])
+						if aid != nil {
+							accounted[aid] = true
+						}
+						addOp(chanOp{kind: opClose, ch: v, class: chanClassOf(n.Args[0]), pos: n.Pos(), deferred: deferredCalls[n]})
+					}
+				case "len", "cap":
+					for _, a := range n.Args {
+						if _, aid := chanVarIdent(info, a); aid != nil {
+							accounted[aid] = true
+						}
+					}
+				case "make":
+					if t := typeOf(info, n); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							buffered := false
+							if len(n.Args) >= 2 {
+								buffered = true
+								if tv, ok := info.Types[n.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+									if i, exact := constant.Int64Val(tv.Value); exact && i == 0 {
+										buffered = false
+									}
+								}
+							}
+							v, reassignID := makeTargetVar(info, stack, n)
+							if reassignID != nil {
+								accounted[reassignID] = true
+							}
+							op := addOp(chanOp{kind: opMake, ch: v, pos: n.Pos(), buffered: buffered})
+							if v != nil {
+								op.class = v.Name()
+								if fc.madeAt[v] == nil {
+									fc.madeAt[v] = op
+								} else {
+									// Re-made channels have ambiguous identity.
+									fc.escaped[v] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			}
+			if name, ok := wgMethodName(info, n); ok {
+				lit, goLit, loop, _ := ctxOf()
+				fc.wgs = append(fc.wgs, wgOp{pos: n.Pos(), name: name, lit: lit, goLit: goLit, loop: loop})
+				return true
+			}
+			var calleeNode *FuncNode
+			if fn := StaticCallee(info, n); fn != nil {
+				calleeNode = ci.prog.Funcs[fn]
+			}
+			if fc.ctx.param != nil {
+				for _, a := range n.Args {
+					if c, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+						if p, name, ok := resolvePkgFunc(info, c); ok && p == "context" && (name == "Background" || name == "TODO") {
+							fc.ctx.bg = append(fc.ctx.bg, bgCall{pos: n.Pos(), callee: calleeDisplay(info, n), src: "context." + name})
+						}
+					}
+				}
+			}
+			for i, a := range n.Args {
+				v, aid := chanVarIdent(info, a)
+				if v == nil {
+					continue
+				}
+				accounted[aid] = true
+				if calleeNode == nil {
+					// Dynamic, stdlib, or literal callee: identity lost.
+					fc.escaped[v] = true
+					continue
+				}
+				csig := calleeNode.Func.Type().(*types.Signature)
+				switch {
+				case csig.Variadic() && i >= csig.Params().Len()-1:
+					fc.escaped[v] = true
+				case i < csig.Params().Len():
+					addOp(chanOp{kind: opPass, ch: v, class: chanClassOf(a), pos: n.Pos(), callee: calleeNode, argIdx: i, call: n})
+				default:
+					fc.escaped[v] = true
+				}
+			}
+
+		case *ast.ForStmt:
+			if n.Cond == nil && n.Init == nil && n.Post == nil && blocksOnChannels(info, n.Body) {
+				lit, goLit, _, _ := ctxOf()
+				fc.waitLoops = append(fc.waitLoops, waitLoop{pos: n.Pos(), lit: lit, goLit: goLit, exits: loopExits(info, n)})
+			}
+
+		case *ast.Ident:
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok {
+				break
+			}
+			if fc.ctx.param != nil && v == fc.ctx.param {
+				fc.ctx.used = true
+			}
+			if v.IsField() || accounted[n] {
+				break
+			}
+			if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+				break
+			}
+			if !localTo(v) {
+				break
+			}
+			// Any unclassified read — aliasing, returning, storing into a
+			// field or composite — loses identity.
+			fc.escaped[v] = true
+			if !seenVar[v] {
+				seenVar[v] = true
+				fc.vars = append(fc.vars, v)
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(fc.ops, func(i, j int) bool { return fc.ops[i].pos < fc.ops[j].pos })
+	return fc
+}
+
+// blocksOnChannels reports whether the block contains a select or a
+// channel op (not crossing function literals) — the shape of a wait loop.
+func blocksOnChannels(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// makeTargetVar finds the variable a make(chan ...) is directly assigned
+// to, looking through the immediate AssignStmt/ValueSpec parent. For a
+// plain `=` reassignment it also returns the LHS identifier so the caller
+// can account it as a benign use.
+func makeTargetVar(info *types.Info, stack []ast.Node, call *ast.CallExpr) (*types.Var, *ast.Ident) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			if len(p.Lhs) != len(p.Rhs) {
+				return nil, nil
+			}
+			for j, r := range p.Rhs {
+				if ast.Unparen(r) != call {
+					continue
+				}
+				id, ok := ast.Unparen(p.Lhs[j]).(*ast.Ident)
+				if !ok {
+					return nil, nil
+				}
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					return v, nil
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					return v, id
+				}
+			}
+			return nil, nil
+		case *ast.ValueSpec:
+			for j, r := range p.Values {
+				if ast.Unparen(r) == call && j < len(p.Names) {
+					if v, ok := info.Defs[p.Names[j]].(*types.Var); ok {
+						return v, nil
+					}
+				}
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// calleeDisplay renders the called function for diagnostics.
+func calleeDisplay(info *types.Info, call *ast.CallExpr) string {
+	if fn := StaticCallee(info, call); fn != nil {
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if name := calleeName(call); name != "" {
+		return name
+	}
+	return "call"
+}
+
+// paramEffects returns node's transitive per-parameter channel effects.
+// Cycles in the call graph are cut by the visiting set (an in-progress
+// node contributes nothing, like lockorder's funcAcquires).
+func (ci *concInfo) paramEffects(n *FuncNode) []paramEffect {
+	if pe, ok := ci.peMemo[n]; ok {
+		return pe
+	}
+	if ci.peVisiting[n] {
+		return nil
+	}
+	ci.peVisiting[n] = true
+	defer delete(ci.peVisiting, n)
+
+	sig := n.Func.Type().(*types.Signature)
+	pe := make([]paramEffect, sig.Params().Len())
+	paramIdx := make(map[*types.Var]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIdx[sig.Params().At(i)] = i
+	}
+	add := func(i int, bit chanEffect, w *effWitness) {
+		if pe[i].bits&bit != 0 {
+			return
+		}
+		pe[i].bits |= bit
+		if pe[i].wit == nil {
+			pe[i].wit = make(map[chanEffect]*effWitness)
+		}
+		pe[i].wit[bit] = w
+	}
+
+	fc := ci.funcs[n]
+	if fc != nil {
+		for k := range fc.ops {
+			op := &fc.ops[k]
+			i, ok := paramIdx[op.ch]
+			if !ok {
+				continue
+			}
+			switch op.kind {
+			case opSend:
+				bit := effSend
+				if op.sel != nil {
+					bit = effSelectSend
+				}
+				add(i, bit, &effWitness{pos: op.pos})
+			case opRecv:
+				bit := effRecv
+				if op.sel != nil {
+					bit = effSelectRecv
+				}
+				add(i, bit, &effWitness{pos: op.pos})
+			case opRangeRecv:
+				add(i, effRangeRecv, &effWitness{pos: op.pos})
+			case opClose:
+				add(i, effClose, &effWitness{pos: op.pos})
+			case opPass:
+				for _, sub := range []chanEffect{effSend, effSelectSend, effRecv, effSelectRecv, effRangeRecv, effClose, effUnknown} {
+					subPE := ci.paramEffects(op.callee)
+					if op.argIdx < len(subPE) && subPE[op.argIdx].bits&sub != 0 {
+						add(i, sub, &effWitness{pos: op.pos, via: op.callee, viaArg: op.argIdx})
+					}
+				}
+			}
+		}
+		for v, esc := range fc.escaped {
+			if !esc {
+				continue
+			}
+			if i, ok := paramIdx[v]; ok {
+				add(i, effUnknown, &effWitness{pos: v.Pos()})
+			}
+		}
+	}
+	ci.peMemo[n] = pe
+	return pe
+}
+
+// effChain renders a dettaint-style witness chain for how effect bit
+// arises from n's arg-th parameter: "pkg.F ← pkg.g ← <op> (file:line)".
+// The returned pos is the direct op at the chain's end.
+func (ci *concInfo) effChain(n *FuncNode, arg int, bit chanEffect) ([]string, token.Pos) {
+	var names []string
+	for hops := 0; hops < 64; hops++ {
+		names = append(names, n.DisplayName())
+		pe := ci.paramEffects(n)
+		if arg >= len(pe) || pe[arg].wit == nil || pe[arg].wit[bit] == nil {
+			return names, token.NoPos
+		}
+		w := pe[arg].wit[bit]
+		if w.via == nil {
+			return names, w.pos
+		}
+		n, arg = w.via, w.viaArg
+	}
+	return names, token.NoPos
+}

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// concFixtureDirs resolves one concurrency fixture tree (goleak,
+// chanprotocol, or ctxflow) plus its helper subpackages.
+func concFixtureDirs(t *testing.T, name string, subs ...string) (*Loader, []string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs := []string{root}
+	for _, s := range subs {
+		dirs = append(dirs, filepath.Join(root, s))
+	}
+	return l, dirs
+}
+
+// onlyAnalyzer enables just the named analyzer.
+func onlyAnalyzer(name string) Config {
+	cfg := DefaultConfig()
+	cfg.Enabled = make(map[string]bool)
+	for _, a := range All() {
+		cfg.Enabled[a.Name] = a.Name == name
+	}
+	return cfg
+}
+
+// TestGoLeakGolden drives goleak over its fixture: abandoned sends and
+// receives (direct and through pump helpers), select-abandonment,
+// unjoined spawn loops, and non-terminating wait-loops are flagged at
+// the spawn site; the WaitGroup, collector, buffered, pipeline, and
+// suppressed shapes stay silent.
+func TestGoLeakGolden(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "goleak", "pump")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("goleak"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	checkWants(t, l.Loaded(), diags)
+}
+
+// TestGoLeakWitnessDetail pins the interprocedural witness chain: the
+// blocking send two calls deep is reported at the spawn site with the
+// full pump.Fill ← pump.push chain and the send's position.
+func TestGoLeakWitnessDetail(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "goleak", "pump")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("goleak"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	var msg string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "pump.Fill") {
+			msg = d.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no pump.Fill diagnostic in %d findings", len(diags))
+	}
+	want := "goroutine can leak: it blocks sending on ch at " +
+		"pump.Fill ← pump.push (pump.go:13) and no receive on ch is reachable on any path; " +
+		"receive from it, buffer it, or select with a cancellation arm"
+	if msg != want {
+		t.Errorf("witness message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+// TestChanProtocolGolden drives chanprotocol over its fixture: double
+// close, send-after-close (direct and via helper parameter effects),
+// close-in-loop, close-by-non-sender, and the lmmonitor-shaped
+// default-poll drop are flagged; sender-side close, joined close,
+// done-broadcast, and re-polling loops stay silent.
+func TestChanProtocolGolden(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "chanprotocol", "helper")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("chanprotocol"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	checkWants(t, l.Loaded(), diags)
+}
+
+// TestChanProtocolWitnessDetail pins the via-callee witness: the send
+// hidden inside helper.Push is reported at the call with the close
+// position and the chain to the send.
+func TestChanProtocolWitnessDetail(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "chanprotocol", "helper")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("chanprotocol"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	var msg string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "helper.Push") {
+			msg = d.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no helper.Push diagnostic in %d findings", len(diags))
+	}
+	want := "call can send on ch after it was closed at proto.go:40: " +
+		"helper.Push ← send (helper.go:13); a send on a closed channel panics"
+	if msg != want {
+		t.Errorf("witness message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+// TestCtxFlowGolden drives ctxflow over its fixture: unused ctx
+// parameters in blocking functions and Background/TODO calls severing
+// an in-scope chain are flagged; threaded, passed-through, pure, and
+// root-scope functions stay silent.
+func TestCtxFlowGolden(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "ctxflow", "remote")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("ctxflow"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	checkWants(t, l.Loaded(), diags)
+}
+
+// TestCtxFlowMessageDetail pins the severed-chain message shape.
+func TestCtxFlowMessageDetail(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "ctxflow", "remote")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("ctxflow"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	var msg string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "context.Background") {
+			msg = d.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no context.Background diagnostic in %d findings", len(diags))
+	}
+	want := "context.Background passed to remote.Ping while ctx is in scope: " +
+		"the cancellation chain is severed and the callee outlives the caller's deadline; " +
+		"pass ctx through instead"
+	if msg != want {
+		t.Errorf("severed-chain message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+// TestConcSeverityStamped checks the three concurrency analyzers default
+// to error severity and honour per-run overrides.
+func TestConcSeverityStamped(t *testing.T) {
+	l, dirs := concFixtureDirs(t, "goleak", "pump")
+	diags, err := RunSuite(l, dirs, onlyAnalyzer("goleak"))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Severity != string(SeverityError) {
+			t.Errorf("%s: severity = %q, want error", d, d.Severity)
+		}
+	}
+
+	l2, dirs2 := concFixtureDirs(t, "goleak", "pump")
+	cfg := onlyAnalyzer("goleak")
+	cfg.Severity = map[string]Severity{"goleak": SeverityWarn}
+	diags2, err := RunSuite(l2, dirs2, cfg)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, d := range diags2 {
+		if d.Severity != string(SeverityWarn) {
+			t.Errorf("%s: severity = %q, want warn override", d, d.Severity)
+		}
+	}
+}
+
+// TestConcWorkerEquivalence pins the determinism contract for the
+// concurrency analyzers across all three fixture trees at once: the
+// Workers=8 diagnostic stream is identical to the serial run.
+func TestConcWorkerEquivalence(t *testing.T) {
+	dirs := []string{
+		filepath.Join("testdata", "src", "goleak"),
+		filepath.Join("testdata", "src", "goleak", "pump"),
+		filepath.Join("testdata", "src", "chanprotocol"),
+		filepath.Join("testdata", "src", "chanprotocol", "helper"),
+		filepath.Join("testdata", "src", "ctxflow"),
+		filepath.Join("testdata", "src", "ctxflow", "remote"),
+	}
+	run := func(workers int) []Diagnostic {
+		l, err := NewLoader(dirs[0])
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		diags, err := RunSuite(l, dirs, cfg)
+		if err != nil {
+			t.Fatalf("RunSuite(workers=%d): %v", workers, err)
+		}
+		return diags
+	}
+	serial := run(1)
+	parallelRun := run(8)
+	if !reflect.DeepEqual(serial, parallelRun) {
+		t.Errorf("parallel diagnostics differ from serial:\nserial:   %v\nparallel: %v", serial, parallelRun)
+	}
+	if len(serial) == 0 {
+		t.Error("fixture produced no diagnostics; equivalence check is vacuous")
+	}
+}
+
+// TestParamEffectsSummaries unit-tests the goflow interprocedural layer
+// directly: transitive send/recv/close effects on channel parameters,
+// with the in-between hop preserved for the witness chain.
+func TestParamEffectsSummaries(t *testing.T) {
+	l, err := NewLoader(filepath.Join("testdata", "src", "goleak"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, dir := range []string{
+		filepath.Join("testdata", "src", "goleak"),
+		filepath.Join("testdata", "src", "goleak", "pump"),
+	} {
+		if _, err := l.Load(dir); err != nil {
+			t.Fatalf("Load(%s): %v", dir, err)
+		}
+	}
+	prog := BuildProgram(l.Fset(), l.Loaded())
+	ci := concInfoOf(prog)
+
+	find := func(display string) *FuncNode {
+		t.Helper()
+		for _, n := range prog.Nodes() {
+			if n.DisplayName() == display {
+				return n
+			}
+		}
+		t.Fatalf("no node %q in program", display)
+		return nil
+	}
+
+	fill := find("pump.Fill")
+	pe := ci.paramEffects(fill)
+	if len(pe) != 2 {
+		t.Fatalf("pump.Fill: %d param effects, want 2", len(pe))
+	}
+	if pe[0].bits&effSend == 0 {
+		t.Errorf("pump.Fill param 0: bits %b missing effSend", pe[0].bits)
+	}
+	if pe[0].bits&effUnknown != 0 {
+		t.Errorf("pump.Fill param 0: bits %b unexpectedly unknown", pe[0].bits)
+	}
+	if pe[1].bits != 0 {
+		t.Errorf("pump.Fill param 1 (non-channel): bits %b, want 0", pe[1].bits)
+	}
+
+	drain := find("pump.Drain")
+	pe = ci.paramEffects(drain)
+	if len(pe) != 1 || pe[0].bits&effRecv == 0 {
+		t.Errorf("pump.Drain param 0: effects %+v, want effRecv", pe)
+	}
+
+	// The chain through Fill names the intermediate hop and lands on the
+	// send inside push.
+	names, pos := ci.effChain(fill, 0, effSend)
+	if got := strings.Join(names, " ← "); got != "pump.Fill ← pump.push" {
+		t.Errorf("effChain names = %q, want %q", got, "pump.Fill ← pump.push")
+	}
+	if p := prog.Fset.Position(pos); filepath.Base(p.Filename) != "pump.go" || p.Line != 13 {
+		t.Errorf("effChain pos = %v, want pump.go:13", p)
+	}
+}

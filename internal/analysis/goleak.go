@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// GoLeakAnalyzer finds goroutines that can outlive their spawner, using
+// the goflow summary layer over the module call graph:
+//
+//   - a spawned goroutine performs a plain (unselected) send or receive
+//     on an unbuffered channel made by the spawner, and no counterpart
+//     operation is reachable anywhere — not in the spawner's flow, not in
+//     a sibling goroutine, not through any callee the channel is passed
+//     to. The goroutine blocks forever and its stack, its channel, and
+//     everything it captured leak. A variant fires when counterpart
+//     receives exist but every one sits in a multi-arm select outside a
+//     loop, which can take another arm and abandon the sender;
+//   - a goroutine spawned inside a loop with no bounding join: no
+//     WaitGroup.Add in the loop, no Done in the goroutine, and no
+//     collecting receive in the spawner — a fast producer spawns without
+//     bound;
+//   - an infinite wait-loop inside a goroutine with no terminating arm:
+//     no return, no break out of the loop, no ctx.Done()-style escape —
+//     the goroutine never ends even when its work does.
+//
+// Interprocedural effects carry dettaint-style witness chains: a blocking
+// send three helpers deep is reported at the spawn site with the chain of
+// parameter passes that reaches it. Channels whose identity escapes the
+// summary (fields, globals, dynamic callees) are skipped entirely —
+// silence over speculation, the suite-wide policy.
+var GoLeakAnalyzer = &Analyzer{
+	Name:      "goleak",
+	Doc:       "finds goroutines that can outlive their spawner: blocking channel ops with no reachable counterpart, unjoined spawn loops, wait-loops with no exit arm",
+	RunModule: runGoLeak,
+}
+
+func runGoLeak(mp *ModulePass) error {
+	ci := concInfoOf(mp.Prog)
+	for _, node := range mp.Prog.Nodes() {
+		if !mp.requested(node.Pkg) {
+			continue
+		}
+		fc := ci.funcs[node]
+		if fc == nil || len(fc.spawns) == 0 {
+			continue
+		}
+		for si := range fc.spawns {
+			s := &fc.spawns[si]
+			checkAbandonedOps(mp, ci, fc, s)
+			checkSpawnLoop(mp, ci, fc, s)
+			checkWaitLoops(mp, ci, fc, s)
+		}
+	}
+	return nil
+}
+
+// blockingOp is one potentially-forever channel op a goroutine performs.
+type blockingOp struct {
+	send  bool // send vs receive
+	ch    *chanOp
+	chain string // witness chain for interprocedural ops, "" for direct
+	pos   token.Pos
+}
+
+// checkAbandonedOps implements the no-reachable-counterpart rule for one
+// spawn site.
+func checkAbandonedOps(mp *ModulePass, ci *concInfo, fc *funcConc, s *spawnSite) {
+	var blocking []blockingOp
+
+	// Direct ops in the spawned literal's own linear flow.
+	if s.lit != nil {
+		for k := range fc.ops {
+			op := &fc.ops[k]
+			if op.lit != s.lit || op.goLit != s.lit || op.sel != nil {
+				continue
+			}
+			switch op.kind {
+			case opSend:
+				blocking = append(blocking, blockingOp{send: true, ch: op, pos: op.pos})
+			case opRecv:
+				blocking = append(blocking, blockingOp{send: false, ch: op, pos: op.pos})
+			}
+		}
+	}
+	// Named spawns: the callee's transitive parameter effects.
+	if s.callee != nil {
+		pe := ci.paramEffects(s.callee)
+		for k := range fc.ops {
+			op := &fc.ops[k]
+			if op.kind != opPass || op.call != s.call || op.argIdx >= len(pe) {
+				continue
+			}
+			bits := pe[op.argIdx].bits
+			if bits&effUnknown != 0 {
+				continue
+			}
+			if bits&effSend != 0 {
+				names, pos := ci.effChain(s.callee, op.argIdx, effSend)
+				blocking = append(blocking, blockingOp{send: true, ch: op, chain: strings.Join(names, " ← "), pos: pos})
+			}
+			if bits&effRecv != 0 {
+				names, pos := ci.effChain(s.callee, op.argIdx, effRecv)
+				blocking = append(blocking, blockingOp{send: false, ch: op, chain: strings.Join(names, " ← "), pos: pos})
+			}
+		}
+	}
+
+	for _, b := range blocking {
+		ch := b.ch.ch
+		if ch == nil || fc.escaped[ch] {
+			continue
+		}
+		made := fc.madeAt[ch]
+		if made == nil || made.buffered {
+			// Only spawner-made unbuffered channels: parameters and
+			// buffered channels have counterparts (or slack) elsewhere.
+			continue
+		}
+		counters, abandonable := counterparts(ci, fc, s, ch, b.send)
+		where := posLabel(mp, b.pos)
+		if b.chain != "" {
+			where = b.chain + " (" + where + ")"
+		}
+		if len(counters) == 0 {
+			if b.send {
+				mp.Reportf(s.pos,
+					"goroutine can leak: it blocks sending on %s at %s and no receive on %s is reachable on any path; receive from it, buffer it, or select with a cancellation arm",
+					ch.Name(), where, ch.Name())
+			} else {
+				mp.Reportf(s.pos,
+					"goroutine can leak: it blocks receiving on %s at %s and no send or close on %s is reachable on any path; send, close, or select with a cancellation arm",
+					ch.Name(), where, ch.Name())
+			}
+			continue
+		}
+		if b.send && abandonable {
+			mp.Reportf(s.pos,
+				"goroutine can leak: it blocks sending on %s at %s, and every counterpart receive (%s) sits in a select that can take another arm and abandon it; buffer the channel (make(chan T, 1)) or drain it on the early-return path",
+				ch.Name(), where, posLabel(mp, counters[0].pos))
+		}
+	}
+}
+
+// counterparts collects ops on ch that could unblock the spawned
+// goroutine's send/recv: everything outside the spawned body itself.
+// abandonable is true when every counterpart receive sits in a multi-arm
+// select outside a loop — a path that can return without draining.
+func counterparts(ci *concInfo, fc *funcConc, s *spawnSite, ch *types.Var, send bool) ([]*chanOp, bool) {
+	var out []*chanOp
+	abandonable := true
+	for k := range fc.ops {
+		op := &fc.ops[k]
+		if op.ch != ch {
+			continue
+		}
+		// Exclude the spawned goroutine's own contribution.
+		if s.lit != nil && op.pos >= s.lit.Pos() && op.pos < s.lit.End() {
+			continue
+		}
+		if s.callee != nil && op.call == s.call {
+			continue
+		}
+		match := false
+		selectOnly := false
+		switch op.kind {
+		case opRecv:
+			if send {
+				match = true
+				ss := fc.selOf[op.sel]
+				selectOnly = op.sel != nil && ss != nil && ss.clauses >= 2 && !ss.inLoop
+			}
+		case opRangeRecv:
+			if send {
+				match = true
+			}
+		case opSend:
+			if !send {
+				match = true
+			}
+		case opClose:
+			if !send {
+				match = true
+			}
+		case opPass:
+			pe := ci.paramEffects(op.callee)
+			if op.argIdx < len(pe) {
+				bits := pe[op.argIdx].bits
+				if send && bits&(effAnyRecv|effUnknown) != 0 {
+					match = true
+				}
+				if !send && bits&(effAnySend|effClose|effUnknown) != 0 {
+					match = true
+				}
+			}
+		}
+		if match {
+			out = append(out, op)
+			if !selectOnly {
+				abandonable = false
+			}
+		}
+	}
+	return out, abandonable && len(out) > 0
+}
+
+// checkSpawnLoop implements the unjoined-spawn-loop rule.
+func checkSpawnLoop(mp *ModulePass, ci *concInfo, fc *funcConc, s *spawnSite) {
+	if s.loop == nil {
+		return
+	}
+	// A WaitGroup.Add in the same loop (spawner side) bounds the spawns.
+	for _, w := range fc.wgs {
+		if w.name == "Add" && w.loop == s.loop && w.lit == s.outerLit {
+			return
+		}
+	}
+	// A Done inside the spawned body joins it.
+	if s.lit != nil {
+		for _, w := range fc.wgs {
+			if w.pos >= s.lit.Pos() && w.pos < s.lit.End() && w.name == "Done" {
+				return
+			}
+		}
+	} else if s.callee != nil {
+		if calleeJoins(ci, s.callee, make(map[*FuncNode]bool)) {
+			return
+		}
+	}
+	// A channel the spawner sends on or receives from in the same loop
+	// acts as a semaphore or collector; a send/recv from the spawned body
+	// into a channel the spawner drains is the worker-pool shape.
+	for k := range fc.ops {
+		op := &fc.ops[k]
+		if op.loop == s.loop && op.lit == s.outerLit && (op.kind == opSend || op.kind == opRecv) {
+			return
+		}
+	}
+	if s.lit != nil {
+		for k := range fc.ops {
+			op := &fc.ops[k]
+			if op.kind != opSend || op.ch == nil {
+				continue
+			}
+			if op.pos < s.lit.Pos() || op.pos >= s.lit.End() {
+				continue
+			}
+			// The goroutine sends results; does the spawner drain them?
+			for j := range fc.ops {
+				dr := &fc.ops[j]
+				if dr.ch == op.ch && dr.goLit == nil && (dr.kind == opRecv || dr.kind == opRangeRecv) {
+					return
+				}
+			}
+		}
+	}
+	mp.Reportf(s.pos,
+		"goroutine spawned in a loop with no bounding join: no WaitGroup.Add in the loop, no Done in the goroutine, and no collecting channel; a fast producer spawns goroutines without bound — add a WaitGroup or a semaphore channel")
+}
+
+// calleeJoins reports whether the named spawn target (or a callee of it)
+// calls WaitGroup.Done.
+func calleeJoins(ci *concInfo, n *FuncNode, seen map[*FuncNode]bool) bool {
+	if seen[n] {
+		return false
+	}
+	seen[n] = true
+	if fc := ci.funcs[n]; fc != nil {
+		for _, w := range fc.wgs {
+			if w.name == "Done" {
+				return true
+			}
+		}
+	}
+	for _, e := range n.Calls {
+		if calleeJoins(ci, e.Callee, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWaitLoops implements the missing-exit-arm rule: an infinite
+// `for { select {...} }` in a spawned goroutine where no case returns,
+// breaks, or terminates.
+func checkWaitLoops(mp *ModulePass, ci *concInfo, fc *funcConc, s *spawnSite) {
+	if s.lit == nil {
+		return
+	}
+	for _, wl := range fc.waitLoops {
+		if wl.lit != s.lit || wl.exits {
+			continue
+		}
+		mp.Reportf(wl.pos,
+			"goroutine wait-loop never terminates: no case returns, breaks, or cancels; add a ctx.Done() (or done-channel) arm that returns so the goroutine spawned at %s can end",
+			posLabel(mp, s.pos))
+	}
+}
+
+// posLabel renders "file.go:12" for witness positions.
+func posLabel(mp *ModulePass, pos token.Pos) string {
+	if pos == token.NoPos {
+		return "?"
+	}
+	p := mp.Prog.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

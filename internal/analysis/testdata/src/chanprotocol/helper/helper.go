@@ -1,0 +1,14 @@
+// Package helper is the chanprotocol fixture's callee layer: channel
+// ownership transferred through a parameter, so the protocol reports in
+// the parent package must carry the witness chain.
+package helper
+
+// Finish closes its argument — close ownership handed in.
+func Finish(ch chan int) {
+	close(ch)
+}
+
+// Push forwards one value, blocking until received.
+func Push(ch chan int, v int) {
+	ch <- v
+}

@@ -1,0 +1,165 @@
+// Package chanprotocol is the golden fixture for the chanprotocol
+// analyzer: ownership-protocol violations and the clean idioms they are
+// distinguished from.
+package chanprotocol
+
+import (
+	"sync"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/chanprotocol/helper"
+)
+
+func work(n int) int { return n * n }
+
+// DoubleClose closes twice on one linear path: a guaranteed panic.
+func DoubleClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	close(ch) // want "second close of ch"
+}
+
+// SendAfterClose sends on a channel already closed on the same path.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch after it was closed"
+}
+
+// DoubleCloseViaHelper reaches the second close through a callee that
+// closes its parameter; the report carries the chain.
+func DoubleCloseViaHelper() {
+	ch := make(chan int)
+	close(ch)
+	helper.Finish(ch) // want "helper.Finish ← close"
+}
+
+// SendAfterCloseViaHelper hides the fatal send inside the callee.
+func SendAfterCloseViaHelper() {
+	ch := make(chan int)
+	close(ch)
+	helper.Push(ch, 1) // want "helper.Push ← send"
+}
+
+// CloseInLoop panics on the second iteration: the channel was made once,
+// outside the loop.
+func CloseInLoop(batches [][]int) {
+	done := make(chan struct{})
+	for range batches {
+		close(done) // want "closed inside a loop"
+	}
+}
+
+// CleanCloseInLoopPerIteration makes the channel inside the loop, so
+// each iteration closes a fresh one.
+func CleanCloseInLoopPerIteration(batches [][]int) {
+	for range batches {
+		done := make(chan struct{})
+		close(done)
+	}
+}
+
+// CloseByNonSender closes from the consumer side while the producer
+// goroutine may still be sending: the race panics.
+func CloseByNonSender() int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+	}()
+	v := <-ch
+	close(ch) // want "by a non-sender"
+	return v
+}
+
+// CleanSenderClose is the fix: the sending goroutine owns the close.
+func CleanSenderClose() int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// CleanJoinedClose closes from a collector goroutine, but only after
+// WaitGroup.Wait has joined every sender — the fan-in idiom.
+func CleanJoinedClose(jobs []int) int {
+	var wg sync.WaitGroup
+	ch := make(chan int, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		j := j
+		go func() {
+			defer wg.Done()
+			ch <- work(j)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// CleanDoneBroadcast closes a channel nothing sends on: the broadcast
+// idiom, explicitly out of scope for close-by-non-sender.
+func CleanDoneBroadcast() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+	return done
+}
+
+// PollAwayCompletion reproduces the fixed lmmonitor interrupt race: a
+// final non-blocking poll whose default arm returns, dropping a
+// completion signal that lands after the poll.
+func PollAwayCompletion(results chan int) (int, bool) {
+	select { // want "drop the completion signal on results"
+	case v, ok := <-results:
+		return v, ok
+	default:
+		return 0, true
+	}
+}
+
+// CleanPollLoop re-polls: an empty default inside a loop sees the close
+// on the next iteration, so nothing is dropped.
+func CleanPollLoop(results chan int) int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		select {
+		case v, ok := <-results:
+			if !ok {
+				return total
+			}
+			total += v
+		default:
+		}
+	}
+	return total
+}
+
+// CleanBlockingCompletion consumes the completion signal with a
+// blocking select — the shape the lmmonitor fix landed on.
+func CleanBlockingCompletion(results chan int, quit chan struct{}) (int, bool) {
+	select {
+	case v, ok := <-results:
+		return v, ok
+	case <-quit:
+		return 0, false
+	}
+}

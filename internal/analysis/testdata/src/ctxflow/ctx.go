@@ -1,0 +1,70 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer:
+// context parameters that do or do not govern the function's blocking
+// behaviour.
+package ctxflow
+
+import (
+	"context"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/ctxflow/remote"
+)
+
+// DropCtxSelect accepts ctx, then blocks on a select with no
+// cancellation arm. Cancelling the caller never unblocks it.
+func DropCtxSelect(ctx context.Context, in chan int) int { // want "context parameter ctx is never used"
+	select {
+	case v := <-in:
+		return v
+	}
+}
+
+// DropCtxRecv blocks on a bare receive with ctx idle.
+func DropCtxRecv(ctx context.Context, in chan int) int { // want "a blocking receive from in"
+	return <-in
+}
+
+// DropCtxSend blocks on a bare send with ctx idle.
+func DropCtxSend(ctx context.Context, out chan int, v int) { // want "a blocking send on out"
+	out <- v
+}
+
+// SeveredChain accepts ctx and hands the callee a fresh Background:
+// both the unused parameter and the severed chain are reported.
+func SeveredChain(ctx context.Context, addr string) error { // want "never used"
+	return remote.Ping(context.Background(), addr) // want "context.Background passed to remote.Ping"
+}
+
+// SeveredTODO is the TODO variant of the same severing.
+func SeveredTODO(ctx context.Context, addr string) error {
+	if err := remote.Ping(ctx, addr); err != nil {
+		return err
+	}
+	return remote.Ping(context.TODO(), addr) // want "context.TODO passed to remote.Ping"
+}
+
+// CleanThreaded consults ctx in the select: cancellation works.
+func CleanThreaded(ctx context.Context, in chan int) int {
+	select {
+	case v := <-in:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// CleanPassthrough forwards ctx to the blocking callee.
+func CleanPassthrough(ctx context.Context, addr string) error {
+	return remote.Ping(ctx, addr)
+}
+
+// CleanPureCtx ignores ctx but never blocks — not this analyzer's
+// business (govet-style unused-parameter checks live elsewhere).
+func CleanPureCtx(ctx context.Context, a, b int) int {
+	return a + b
+}
+
+// CleanRoot has no ctx parameter in scope, so starting a fresh
+// Background chain here is legitimate.
+func CleanRoot(addr string) error {
+	return remote.Ping(context.Background(), addr)
+}

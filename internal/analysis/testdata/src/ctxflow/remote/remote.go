@@ -1,0 +1,14 @@
+// Package remote is the ctxflow fixture's callee layer: a blocking,
+// Context-accepting API that callers are supposed to thread their ctx
+// into.
+package remote
+
+import "context"
+
+// Ping blocks until the context cancels — the fixture stand-in for a
+// network call.
+func Ping(ctx context.Context, addr string) error {
+	<-ctx.Done()
+	_ = addr
+	return ctx.Err()
+}

@@ -1,0 +1,176 @@
+// Package goleak is the golden fixture for the goleak analyzer: each
+// function is one spawn shape, leaky or clean, and the want comments pin
+// the spawn-site diagnostics.
+package goleak
+
+import (
+	"context"
+	"sync"
+
+	"github.com/last-mile-congestion/lastmile/internal/analysis/testdata/src/goleak/pump"
+)
+
+func compute() int { return 42 }
+
+func work(n int) int { return n * n }
+
+// LeakSendNoReceiver is the classic abandoned sender: nothing ever
+// receives on ch, so the goroutine blocks forever.
+func LeakSendNoReceiver() {
+	ch := make(chan int)
+	go func() { // want "blocks sending on ch"
+		ch <- 1
+	}()
+}
+
+// LeakRecvNoSender is the mirror image: nothing sends or closes.
+func LeakRecvNoSender() {
+	ch := make(chan int)
+	go func() { // want "blocks receiving on ch"
+		_ = <-ch
+	}()
+}
+
+// LeakThroughHelper hides the blocking send two calls deep in another
+// package; the report must carry the interprocedural witness chain.
+func LeakThroughHelper() {
+	ch := make(chan int)
+	go pump.Fill(ch, 7) // want "pump.Fill ← pump.push"
+}
+
+// LeakAbandonedBySelect has a counterpart receive, but it sits in a
+// two-arm select outside a loop: the ctx arm can win and abandon the
+// sender forever.
+func LeakAbandonedBySelect(ctx context.Context) int {
+	ch := make(chan int)
+	go func() { // want "sits in a select that can take another arm"
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// CleanBuffered is the fix for LeakAbandonedBySelect: the buffer gives
+// the sender somewhere to put the value even when the select bails.
+func CleanBuffered(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// CleanPipeline is the producer/range-drain idiom: every send has the
+// range receive as its counterpart.
+func CleanPipeline() int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 4; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// CleanHelperDrained passes the channel to a receiving helper, so the
+// interprocedural effect summary finds the counterpart.
+func CleanHelperDrained() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return pump.Drain(ch)
+}
+
+// LeakSpawnLoop fans out without any bounding join: no WaitGroup, no
+// collecting channel, no semaphore.
+func LeakSpawnLoop(jobs []int) {
+	for _, j := range jobs {
+		j := j
+		go func() { // want "spawned in a loop with no bounding join"
+			work(j)
+		}()
+	}
+}
+
+// CleanSpawnLoopWaitGroup bounds the loop with the Add/Done/Wait
+// discipline.
+func CleanSpawnLoopWaitGroup(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		j := j
+		go func() {
+			defer wg.Done()
+			work(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// CleanCollector bounds the loop through the results channel: the
+// spawner drains exactly one value per spawn.
+func CleanCollector(jobs []int) int {
+	results := make(chan int)
+	for _, j := range jobs {
+		j := j
+		go func() {
+			results <- work(j)
+		}()
+	}
+	total := 0
+	for range jobs {
+		total += <-results
+	}
+	return total
+}
+
+// LeakWaitLoop spins forever: the select has no arm that returns or
+// breaks, so the goroutine never ends even after ticks goes quiet.
+func LeakWaitLoop(ticks chan int, sink func(int)) {
+	go func() {
+		for { // want "wait-loop never terminates"
+			select {
+			case v := <-ticks:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// CleanWaitLoop has the cancellation arm the rule asks for.
+func CleanWaitLoop(ctx context.Context, ticks chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case v := <-ticks:
+				sink(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// SuppressedLeak documents an accepted leak via the ignore directive;
+// the suite must drop the finding, so no want here.
+func SuppressedLeak() {
+	ch := make(chan int)
+	go func() { //lmvet:ignore goleak fixture documents the suppression path
+		ch <- 1
+	}()
+}

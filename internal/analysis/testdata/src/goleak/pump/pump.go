@@ -1,0 +1,20 @@
+// Package pump is the goleak fixture's helper layer: the blocking send
+// lives two calls deep here, so the spawn-site diagnostic in the parent
+// package must carry the interprocedural witness chain.
+package pump
+
+// Fill forwards the seed into out through one more hop.
+func Fill(out chan int, seed int) {
+	push(out, seed)
+}
+
+// push blocks until someone receives.
+func push(out chan int, v int) {
+	out <- v
+}
+
+// Drain receives one value — the counterpart effect used by the clean
+// interprocedural case.
+func Drain(in chan int) int {
+	return <-in
+}

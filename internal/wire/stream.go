@@ -177,17 +177,53 @@ func (f *frameReader) next(want byte) ([]byte, error) {
 	if ln > MaxFrame {
 		return nil, f.corruptHere(ErrFrameTooLarge)
 	}
-	if uint64(cap(f.buf)) < ln {
-		f.buf = make([]byte, ln) //lmvet:ignore allocguard frame buffer grows once to the stream's largest frame, then every read reuses it
-	}
-	payload := f.buf[:ln]
-	n, err := io.ReadFull(f.br, payload)
-	f.off += int64(n)
+	payload, err := f.readPayload(ln)
 	if err != nil {
-		return nil, f.readErr(err)
+		return nil, err
 	}
 	f.frame++
 	return payload, nil
+}
+
+// frameAllocStep bounds how far readPayload grows the frame buffer
+// ahead of bytes actually read: a corrupt length prefix declaring a
+// near-MaxFrame frame on a truncated stream fails after at most one
+// step of over-allocation, not after committing MaxFrame upfront.
+const frameAllocStep = 64 * 1024
+
+// readPayload returns the next ln payload bytes in the reused frame
+// buffer. The declared length is untrusted input, so the buffer only
+// grows (doubling, floor one step) once the bytes backing the previous
+// capacity have actually arrived; steady state still reaches the
+// stream's largest frame once and then reads allocation-free.
+func (f *frameReader) readPayload(ln uint64) ([]byte, error) {
+	var got uint64
+	for got < ln {
+		have := uint64(cap(f.buf))
+		if have > ln {
+			have = ln
+		}
+		if got == have { // capacity exhausted by real bytes: grow one step
+			next := have + frameAllocStep
+			if d := have * 2; d > next {
+				next = d
+			}
+			if next > ln {
+				next = ln
+			}
+			nb := make([]byte, next) //lmvet:ignore allocguard frame buffer grows to the stream's largest frame, then every read reuses it
+			copy(nb, f.buf[:got])
+			f.buf = nb
+			have = next
+		}
+		n, err := io.ReadFull(f.br, f.buf[got:have])
+		f.off += int64(n)
+		got += uint64(n)
+		if err != nil {
+			return nil, f.readErr(err)
+		}
+	}
+	return f.buf[:ln], nil
 }
 
 // readUvarint reads one canonical length prefix byte-by-byte. io.EOF at

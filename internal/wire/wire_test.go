@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -608,5 +609,84 @@ func TestVarintCanonicality(t *testing.T) {
 		if got := unzigzag(zigzag(v)); got != v {
 			t.Fatalf("zigzag(%d) round-trips to %d", v, got)
 		}
+	}
+}
+
+// TestHugeDeclaredLengthFailsCheaply pins the allocation cap on
+// untrusted length prefixes: a corrupt stream declaring a MaxFrame-sized
+// frame backed by three real bytes must fail with ErrShortFrame after
+// allocating no more than one growth step — not after committing 16MiB
+// to a length the stream cannot back.
+func TestHugeDeclaredLengthFailsCheaply(t *testing.T) {
+	var sb bytes.Buffer
+	w := NewWriter(&sb, StreamResults)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	raw := appendUvarint(sb.Bytes(), MaxFrame) // declared: the maximum
+	raw = append(raw, 0x01, 0x02, 0x03)        // real payload: 3 bytes
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sc := NewScanner(bytes.NewReader(raw))
+	if sc.Scan() {
+		t.Fatal("Scan succeeded on a truncated huge frame")
+	}
+	runtime.ReadMemStats(&after)
+	if !errors.Is(sc.Err(), ErrShortFrame) {
+		t.Fatalf("Err = %v, want ErrShortFrame", sc.Err())
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Errorf("failing on a %d-byte declared length allocated %d bytes; the stepwise cap should keep it under 1MiB", MaxFrame, grew)
+	}
+}
+
+// TestReadPayloadGrowth pins the growth schedule: large genuine frames
+// still round-trip through the stepwise buffer (exercising the
+// copy-on-grow path across several doublings), and a second scan of the
+// same stream reuses the grown buffer.
+func TestReadPayloadGrowth(t *testing.T) {
+	big := &traceroute.Result{
+		ProbeID:   7,
+		MsmID:     5010,
+		Timestamp: time.Unix(1568889000, 0).UTC(),
+		AF:        4,
+		SrcAddr:   netip.MustParseAddr("192.0.2.1"),
+		FromAddr:  netip.MustParseAddr("203.0.113.99"),
+		DstAddr:   netip.MustParseAddr("198.51.100.9"),
+		Proto:     "UDP",
+	}
+	from := netip.MustParseAddr("203.0.113.7")
+	for h := 0; h < 2048; h++ {
+		hop := traceroute.HopResult{Hop: h + 1}
+		for r := 0; r < 16; r++ {
+			hop.Replies = append(hop.Replies, traceroute.Reply{From: from, RTT: float64(r) + 0.25, TTL: 64})
+		}
+		big.Hops = append(big.Hops, hop)
+	}
+
+	var sb bytes.Buffer
+	w := NewWriter(&sb, StreamResults)
+	for i := 0; i < 2; i++ {
+		if err := w.WriteResult(64496, big); err != nil {
+			t.Fatalf("WriteResult %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	sc := NewScanner(bytes.NewReader(sb.Bytes()))
+	for i := 0; i < 2; i++ {
+		if !sc.Scan() {
+			t.Fatalf("Scan %d failed: %v", i, sc.Err())
+		}
+		if got := sc.Result(); !reflect.DeepEqual(got, big) {
+			t.Fatalf("Scan %d: result corrupted across buffer growth (%d hops vs %d)", i, len(got.Hops), len(big.Hops))
+		}
+	}
+	if sc.Scan() || sc.Err() != nil {
+		t.Fatalf("stream should end cleanly, err %v", sc.Err())
 	}
 }

@@ -3,27 +3,61 @@
 # lmvet static-analysis suite, the full test run under the race
 # detector, a focused race-stress pass over the parallel execution
 # paths, and a one-iteration benchmark smoke run. Any stage failing
-# fails the gate.
+# fails the gate; the failing stage is named on stderr and every stage's
+# wall-clock time is reported either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
+# Stage bookkeeping: stage NAME starts a named stage (closing the
+# previous one), the EXIT trap closes the last stage, names the failing
+# one on a non-zero exit, and prints the timing table.
+STAGE=""
+STAGE_START=0
+SUMMARY=""
+
+stage_done() {
+  if [ -n "${STAGE}" ]; then
+    SUMMARY+=$(printf '  %4ds  %s' "$(( SECONDS - STAGE_START ))" "${STAGE}")$'\n'
+  fi
+}
+
+stage() {
+  stage_done
+  STAGE="$1"
+  STAGE_START=${SECONDS}
+  echo "==> ${STAGE}"
+}
+
+on_exit() {
+  local status=$?
+  stage_done
+  if [ "${status}" -ne 0 ] && [ -n "${STAGE}" ]; then
+    echo "check.sh: FAILED at stage \"${STAGE}\" (exit ${status})" >&2
+  fi
+  if [ -n "${SUMMARY}" ]; then
+    echo "-- stage timings (wall clock) --"
+    printf '%s' "${SUMMARY}"
+  fi
+}
+trap on_exit EXIT
+
+stage "go build ./..."
 go build ./...
 
-echo "==> go vet ./..."
+stage "go vet ./..."
 go vet ./...
 
-echo "==> lmvet ./..."
+stage "lmvet ./..."
 mkdir -p artifacts
 go run ./cmd/lmvet -baseline lmvet.baseline -sarif artifacts/lmvet.sarif ./...
 
-echo "==> go test -race ./..."
+stage "go test -race ./..."
 go test -race ./...
 
 # The worker pool and the multi-worker survey/Tokyo paths get a second,
 # dedicated -race pass with caching disabled: scheduling differs run to
 # run, so fresh executions are what surface ordering bugs.
-echo "==> go test -race -count=1 (parallel paths)"
+stage "go test -race -count=1 (parallel paths)"
 go test -race -count=1 ./internal/parallel/
 go test -race -count=1 -run 'TestRunSurveyParallelMatchesSerial' ./internal/scenario/
 go test -race -count=1 -run 'WorkerEquivalence' ./internal/experiments/
@@ -31,7 +65,7 @@ go test -race -count=1 -run 'WorkerEquivalence' ./internal/experiments/
 # The unified engine's determinism contract: batch surveys are a replay
 # of the streaming engine, bit for bit, at every shard and worker count,
 # and out-of-order ingestion within MaxLateness changes nothing.
-echo "==> go test -race -count=1 (engine equivalence)"
+stage "go test -race -count=1 (engine equivalence)"
 go test -race -count=1 ./internal/engine/
 go test -race -count=1 -run 'ReplayEquivalence' ./internal/experiments/
 go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal/stream/
@@ -39,7 +73,7 @@ go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal
 # Telemetry registry: a dedicated uncached -race stress pass — eight
 # goroutines hammer one registry while snapshots render concurrently,
 # and snapshots must be byte-identical at every worker count.
-echo "==> go test -race -count=1 (telemetry stress)"
+stage "go test -race -count=1 (telemetry stress)"
 go test -race -count=1 ./internal/telemetry/
 
 # Fuzz smoke: short coverage-guided runs over the two ingest decoders —
@@ -48,31 +82,43 @@ go test -race -count=1 ./internal/telemetry/
 # target. Seeds (testdata/fuzz + f.Add) always run under plain
 # `go test`; these stages give the mutator a few seconds to hunt for
 # fresh panics.
-echo "==> go test -fuzz (Atlas JSON parser, 5s smoke)"
+stage "go test -fuzz (Atlas JSON parser, 5s smoke)"
 go test -run '^$' -fuzz 'FuzzParseAtlasJSON' -fuzztime 5s ./internal/traceroute/
-echo "==> go test -fuzz (wire codec, 5s smoke)"
+stage "go test -fuzz (wire codec, 5s smoke)"
 go test -run '^$' -fuzz 'FuzzWireRoundTrip' -fuzztime 5s ./internal/wire/
 
 # Benchmark smoke: every bench must still run one iteration cleanly.
-echo "==> go test -bench (smoke, 1 iteration)"
+stage "go test -bench (smoke, 1 iteration)"
 go test -run '^$' -bench . -benchtime 1x .
 
 # Hot-path gate, static half: the dataflow analyzers alone, promoted to
 # error severity, so an allocation or lock-order regression on an
 # annotated path fails the gate even if some future default demotes
 # either analyzer to warn.
-echo "==> lmvet hot-path gate (allocguard+lockorder at error severity)"
+stage "lmvet hot-path gate (allocguard+lockorder at error severity)"
 go run ./cmd/lmvet \
   -floatcmp=false -nanguard=false -detguard=false -dettaint=false \
   -locksafe=false -errclose=false -poolsafe=false -metricsafe=false \
+  -goleak=false -chanprotocol=false -ctxflow=false \
   -severity allocguard=error,lockorder=error \
+  -baseline lmvet.baseline ./...
+
+# Concurrency-lifecycle gate: the goflow analyzers alone, promoted to
+# error severity — a goroutine leak, a channel-protocol violation, or an
+# unthreaded Context anywhere in the module fails the gate.
+stage "lmvet concurrency gate (goleak+chanprotocol+ctxflow at error severity)"
+go run ./cmd/lmvet \
+  -floatcmp=false -nanguard=false -detguard=false -dettaint=false \
+  -locksafe=false -errclose=false -poolsafe=false -metricsafe=false \
+  -allocguard=false -lockorder=false \
+  -severity goleak=error,chanprotocol=error,ctxflow=error \
   -baseline lmvet.baseline ./...
 
 # Hot-path gate, dynamic half: the ingest benchmark must report exactly
 # 0 allocs/op at every shard width. 200000 uncached iterations amortise
 # pool warm-up and window-map growth to steady state — the same
 # measurement scripts/bench.sh record checks into BENCH_engine.json.
-echo "==> zero-alloc ingest gate (BenchmarkMonitorObserve, 0 allocs/op)"
+stage "zero-alloc ingest gate (BenchmarkMonitorObserve, 0 allocs/op)"
 go test -run '^$' -bench 'BenchmarkMonitorObserve' -benchmem -benchtime 200000x -count=1 . \
   | tee /dev/stderr \
   | awk '
@@ -91,7 +137,7 @@ go test -run '^$' -bench 'BenchmarkMonitorObserve' -benchmem -benchtime 200000x 
 # (~576 results) into a reused Result, so 200 iterations amortise
 # scratch growth to steady state. BenchmarkIngestDecodeJSONStdlib is the
 # encoding/json baseline and is deliberately excluded.
-echo "==> zero-alloc decode gate (BenchmarkIngestDecode{JSON,Wire}, 0 allocs/op)"
+stage "zero-alloc decode gate (BenchmarkIngestDecode{JSON,Wire}, 0 allocs/op)"
 go test -run '^$' -bench 'BenchmarkIngestDecodeJSON$|BenchmarkIngestDecodeWire$' \
   -benchmem -benchtime 200x -count=1 . \
   | tee /dev/stderr \
@@ -105,4 +151,6 @@ go test -run '^$' -bench 'BenchmarkIngestDecodeJSON$|BenchmarkIngestDecodeWire$'
         if (bad > 0)   { print "decode gate: " bad " row(s) allocate on the decode hot path" > "/dev/stderr"; exit 1 }
       }'
 
+stage_done
+STAGE=""
 echo "==> all checks passed"
