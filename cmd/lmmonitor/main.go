@@ -62,6 +62,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for classification reports (0 = GOMAXPROCS; output is identical at any count)")
 		httpAddr = flag.String("http", "", "ops endpoint address (e.g. :9090) serving /metrics, /metrics.json, and /debug/pprof")
 		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file at exit (- for stdout)")
+		state    = flag.String("state", "", "engine checkpoint file: resume from it at startup if present, snapshot to it on every bin boundary, scheduled report, and at exit (atomic rename, zero data loss on SIGTERM)")
 	)
 	flag.Parse()
 
@@ -106,6 +107,7 @@ func main() {
 		shards:  *shards,
 		workers: *workers,
 		metrics: reg,
+		state:   *state,
 		grace:   flushGrace,
 		exit:    os.Exit,
 	}
@@ -199,19 +201,55 @@ type config struct {
 	sortIn          bool
 	shards, workers int
 	metrics         *telemetry.Registry
+	// state is the checkpoint file path; empty disables checkpointing.
+	state string
 	// grace is the watchdog's wait before it forces the final flush; exit
 	// is called if the main loop still has not finished by then.
 	grace time.Duration
 	exit  func(int)
 }
 
-func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
-	monitor := stream.NewMonitor(stream.Options{
+// openMonitor builds the monitor, resuming from the checkpoint file
+// when one exists: the restored engine carries the window contents,
+// watermark, and counters of the killed run, so the resumed monitor's
+// verdicts and stats are those of a monitor that never stopped.
+func openMonitor(cfg config) (*stream.Monitor, error) {
+	opts := stream.Options{
 		Window:  cfg.window,
 		Shards:  cfg.shards,
 		Workers: cfg.workers,
 		Metrics: cfg.metrics,
-	})
+	}
+	if cfg.state != "" {
+		f, err := os.Open(cfg.state)
+		switch {
+		case err == nil:
+			defer ioutil.CloseQuiet(f)
+			m, err := stream.RestoreMonitor(f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("resume from %s: %w", cfg.state, err)
+			}
+			fmt.Fprintf(os.Stderr, "lmmonitor: resumed from checkpoint %s\n", cfg.state)
+			return m, nil
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	return stream.NewMonitor(opts), nil
+}
+
+func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
+	monitor, err := openMonitor(cfg)
+	if err != nil {
+		return err
+	}
+	// ckpt persists engine state across restarts: once per bin boundary
+	// as the stream advances, after every scheduled report, and in the
+	// final flush (interrupt, end of stream, or watchdog).
+	var ckpt *stream.Checkpointer
+	if cfg.state != "" {
+		ckpt = stream.NewCheckpointer(monitor, cfg.state)
+	}
 	// feed attributes one result and hands it to the monitor. Binary
 	// wire archives carry the origin AS in-band (asn != 0); JSON input
 	// falls back to the RIB, when given.
@@ -230,11 +268,24 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 	finalFlush := func(header string) error {
 		var err error
 		flushOnce.Do(func() {
+			// Persist state before reporting, so even a report failure
+			// leaves a checkpoint covering everything ingested — the
+			// zero-data-loss half of the SIGTERM contract. On the forced
+			// watchdog path the loop may be stuck mid-ingest; the snapshot
+			// is then best-effort (per-shard locking keeps it structurally
+			// valid either way).
+			var cerr error
+			if ckpt != nil {
+				cerr = ckpt.Checkpoint()
+			}
 			err = out.Block(func(w io.Writer) error {
 				fmt.Fprintf(w, "\n%s; final state:\n", header)
 				writeStats(monitor, w)
 				return writeReport(monitor, w, time.Time{})
 			})
+			if err == nil {
+				err = cerr
+			}
 		})
 		return err
 	}
@@ -268,6 +319,14 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 		if err := feed(a.asn, a.res); err != nil {
 			return err
 		}
+		if ckpt != nil {
+			// Cheap in the common case: a watermark read and a compare;
+			// an actual snapshot only when the stream crossed into a new
+			// bin since the last checkpoint.
+			if _, err := ckpt.MaybeCheckpoint(); err != nil {
+				return err
+			}
+		}
 		if nextReport.IsZero() {
 			nextReport = a.res.Timestamp.Add(cfg.every)
 			return nil
@@ -275,6 +334,11 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 		if !a.res.Timestamp.Before(nextReport) {
 			if err := printReport(monitor, out, a.res.Timestamp); err != nil {
 				return err
+			}
+			if ckpt != nil {
+				if err := ckpt.Checkpoint(); err != nil {
+					return err
+				}
 			}
 			nextReport = a.res.Timestamp.Add(cfg.every)
 		}

@@ -16,10 +16,13 @@
 //	atlasgen -isp A -days 8 | lmsurvey
 //	lmsurvey -in traces.jsonl -rib rib.txt -csv signals/
 //	lmsurvey -in traces.jsonl -workers 8 -shards 8
+//	lmsurvey -in archive.lmw -split 8
 //
 // The survey fans out over -workers goroutines and -shards engine lock
-// stripes (both default GOMAXPROCS); the report is byte-identical at any
-// worker or shard count.
+// stripes (both default GOMAXPROCS); -split K additionally replays the
+// dataset map-reduce style through K independent engines merged at the
+// end (engine.Merge). The report is byte-identical at any worker,
+// shard, or split count.
 package main
 
 import (
@@ -45,16 +48,17 @@ func main() {
 		csvDir   = flag.String("csv", "", "optional directory for per-AS signal CSV dumps")
 		workers  = flag.Int("workers", 0, "worker goroutines for the per-AS pipeline (0 = GOMAXPROCS, 1 = serial; output is identical at any count)")
 		shards   = flag.Int("shards", 0, "engine lock stripes for the replay (0 = GOMAXPROCS; output is identical at any count)")
+		split    = flag.Int("split", 1, "map-reduce replay: split the dataset across this many independent engines and merge (output is identical at any count)")
 		metrics  = flag.String("metrics", "", "write an end-of-run telemetry snapshot (Prometheus text) to this file (- for stdout)")
 	)
 	flag.Parse()
-	if err := run(*in, *ribIn, *probesIn, *csvDir, *metrics, *workers, *shards); err != nil {
+	if err := run(*in, *ribIn, *probesIn, *csvDir, *metrics, *workers, *shards, *split); err != nil {
 		fmt.Fprintln(os.Stderr, "lmsurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards int) error {
+func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards, split int) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -160,7 +164,7 @@ func run(in, ribIn, probesIn, csvDir, metricsOut string, workers, shards int) er
 	fmt.Print("\n\n")
 
 	reg := lastmile.DefaultMetrics()
-	survey, skipped, err := lastmile.RunSurvey(start.Format("2006-01"), results, lastmile.SurveyOptions{
+	survey, skipped, err := lastmile.RunSurveySharded(start.Format("2006-01"), results, split, lastmile.SurveyOptions{
 		Start:   start,
 		End:     end,
 		Workers: workers,

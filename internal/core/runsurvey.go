@@ -91,9 +91,29 @@ var ErrNoUsableData = errors.New("no usable last-mile data")
 // streaming the same results through stream.Monitor with a window
 // covering the period.
 func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*Survey, []SkippedAS, error) {
+	return RunSurveySharded(period, results, 1, opts)
+}
+
+// RunSurveySharded is RunSurvey's map-reduce form: the results are
+// split round-robin across K independent engines, fed in parallel, and
+// merged (engine.Merge) before classification. Per-bin medians are
+// exact order statistics, so the merged engine is observation-for-
+// observation equivalent to one engine having seen everything — the
+// survey is bit-identical at any split count, which
+// TestRunSurveyShardedEquivalence pins for K ∈ {1, 2, 8}. Split is the
+// unit of coarse-grained parallelism (and, eventually, of distribution:
+// each split's engine state could arrive as a wire snapshot from
+// another process); Shards remains the per-engine lock striping.
+func RunSurveySharded(period string, results []AttributedResult, split int, opts SurveyOptions) (*Survey, []SkippedAS, error) {
 	opts = opts.withDefaults()
 	if len(results) == 0 {
 		return nil, nil, errors.New("core: no results to survey")
+	}
+	if split < 1 {
+		split = 1
+	}
+	if split > len(results) {
+		split = len(results)
 	}
 
 	// Derive the period bounds from the data when not pinned.
@@ -128,15 +148,25 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		reg = telemetry.NewRegistry()
 	}
 
-	// Replay the period through an unbounded engine. Per-bin medians
-	// are permutation-invariant, so the feed order does not matter and
-	// ingestion can fan out across the engine's lock stripes.
-	eng := engine.New(engine.Options{
-		BinWidth:       opts.BinWidth,
-		MinTraceroutes: opts.MinTraceroutes,
-		Shards:         opts.Shards,
-		Metrics:        reg,
-	})
+	// Replay the period through K unbounded engines, each fed every
+	// split-th result (deterministic round-robin). Per-bin medians are
+	// permutation-invariant, so neither the split nor the feed order
+	// matters, and within each engine ingestion still fans out across
+	// the lock stripes. All engines share one registry, so the merged
+	// Stats report whole-survey totals.
+	// Engines register resident-state gauges into the shared registry
+	// with last-wins replacement; constructing engine 0 — the merge
+	// target that survives the reduce — last keeps those gauges reading
+	// the engine that actually holds the merged state.
+	engines := make([]*engine.Engine, split)
+	for k := split - 1; k >= 0; k-- {
+		engines[k] = engine.New(engine.Options{
+			BinWidth:       opts.BinWidth,
+			MinTraceroutes: opts.MinTraceroutes,
+			Shards:         opts.Shards,
+			Metrics:        reg,
+		})
+	}
 	feedTimer := reg.Histogram("survey_feed_seconds", telemetry.DefLatencyBuckets).Start()
 	err := parallel.ForEach(context.Background(), opts.Workers, len(results), func(i int) error {
 		ar := results[i]
@@ -144,7 +174,7 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 			return fmt.Errorf("core: nil result at index %d", i)
 		}
 		if samples, _, ok := lm.Estimate(ar.Result); ok {
-			eng.Observe(ar.ASN, ar.Result.ProbeID, ar.Result.Timestamp, samples)
+			engines[i%split].Observe(ar.ASN, ar.Result.ProbeID, ar.Result.Timestamp, samples)
 		}
 		return nil
 	})
@@ -153,6 +183,26 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 		return nil, nil, err
 	}
 
+	// Reduce: fold every split engine into the first. Merge is
+	// commutative and associative, so a sequential left fold is as good
+	// as any merge tree.
+	eng := engines[0]
+	mergeTimer := reg.Histogram("survey_merge_seconds", telemetry.DefLatencyBuckets).Start()
+	for _, o := range engines[1:] {
+		if err := eng.Merge(o); err != nil {
+			mergeTimer.Stop()
+			return nil, nil, err
+		}
+	}
+	mergeTimer.Stop()
+
+	return classifySurvey(period, eng, results, start, nBins, opts, reg)
+}
+
+// classifySurvey runs the §2.3 classification pass over a fed engine
+// and assembles the survey — the shared tail of the single-engine and
+// map-reduce paths.
+func classifySurvey(period string, eng *engine.Engine, results []AttributedResult, start time.Time, nBins int, opts SurveyOptions, reg *telemetry.Registry) (*Survey, []SkippedAS, error) {
 	// The AS universe covers every attributed AS, not just those with
 	// usable samples, so wholly-unusable ASes surface as skipped.
 	seen := make(map[bgp.ASN]bool)

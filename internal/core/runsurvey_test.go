@@ -145,6 +145,49 @@ func TestRunSurveyWorkerAndShardEquivalence(t *testing.T) {
 	}
 }
 
+// TestRunSurveyShardedEquivalence pins the map-reduce contract at the
+// survey layer: splitting the replay across K engines and merging must
+// reproduce the single-engine survey bit for bit — verdicts, probe
+// counts, amplitudes, and full signals — at every split count.
+func TestRunSurveyShardedEquivalence(t *testing.T) {
+	results := diurnalResults(64500, 4, 6, 5)
+	results = append(results, diurnalResults(64501, 3, 6, 1.5)...)
+	results = append(results, diurnalResults(64502, 3, 6, 0)...)
+	base, baseSkipped, err := RunSurveySharded("eq", results, 1, SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []int{2, 8, 1 << 20} { // oversized split clamps to len(results)
+		got, skipped, err := RunSurveySharded("eq", results, split, SurveyOptions{})
+		if err != nil {
+			t.Fatalf("split=%d: %v", split, err)
+		}
+		if got.Len() != base.Len() || len(skipped) != len(baseSkipped) {
+			t.Fatalf("split=%d: Len %d vs %d, skipped %d vs %d",
+				split, got.Len(), base.Len(), len(skipped), len(baseSkipped))
+		}
+		for asn, want := range base.Results {
+			g := got.Results[asn]
+			if g == nil {
+				t.Fatalf("split=%d: AS%v missing", split, asn)
+			}
+			if g.Class != want.Class || g.Probes != want.Probes {
+				t.Fatalf("split=%d: AS%v verdict {%v,%d} vs {%v,%d}",
+					split, asn, g.Class, g.Probes, want.Class, want.Probes)
+			}
+			if math.Float64bits(g.DailyAmplitude) != math.Float64bits(want.DailyAmplitude) {
+				t.Fatalf("split=%d: AS%v amplitude %v vs %v", split, asn, g.DailyAmplitude, want.DailyAmplitude)
+			}
+			for i := range want.Signal.Values {
+				if math.Float64bits(g.Signal.Values[i]) != math.Float64bits(want.Signal.Values[i]) {
+					t.Fatalf("split=%d: AS%v signal[%d] %v vs %v",
+						split, asn, i, g.Signal.Values[i], want.Signal.Values[i])
+				}
+			}
+		}
+	}
+}
+
 func TestRunSurveyPinnedBounds(t *testing.T) {
 	results := diurnalResults(64500, 3, 4, 5)
 	start := surveyT0

@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/telemetry"
+	"github.com/last-mile-congestion/lastmile/internal/wire"
+)
+
+// snapEqual asserts two engines are observably identical: same ASNs,
+// same stats, and bit-identical signals over nBins from start.
+func snapEqual(t *testing.T, a, b *Engine, start time.Time, nBins int) {
+	t.Helper()
+	aa, ba := a.ASNs(), b.ASNs()
+	if len(aa) != len(ba) {
+		t.Fatalf("ASN count %d vs %d", len(aa), len(ba))
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for i, asn := range aa {
+		if asn != ba[i] {
+			t.Fatalf("ASNs[%d] = %v vs %v", i, asn, ba[i])
+		}
+		siga, na, erra := a.Signal(asn, start, nBins)
+		sigb, nb, errb := b.Signal(asn, start, nBins)
+		if (erra == nil) != (errb == nil) {
+			t.Fatalf("%v: err %v vs %v", asn, erra, errb)
+		}
+		if erra != nil {
+			continue
+		}
+		if na != nb {
+			t.Fatalf("%v: probes %d vs %d", asn, na, nb)
+		}
+		sameValues(t, asn.String(), siga, sigb)
+	}
+}
+
+// TestEngineSnapshotRestoreContinue pins the tentpole resume contract:
+// snapshot mid-stream, restore, feed the remainder — every verdict
+// input must be bit-identical to a never-interrupted engine, including
+// eviction cadence and counters.
+func TestEngineSnapshotRestoreContinue(t *testing.T) {
+	opts := Options{Window: 4 * 24 * time.Hour, MaxLateness: 12 * time.Hour}
+	interrupted := New(opts)
+	uninterrupted := New(opts)
+
+	// First half of the stream, then freeze.
+	for asn := bgp.ASN(100); asn < 110; asn++ {
+		feed(interrupted, asn, 3, 3, float64(asn%5))
+		feed(uninterrupted, asn, 3, 3, float64(asn%5))
+	}
+	var buf bytes.Buffer
+	if err := interrupted.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second half: feed the restored engine and the uninterrupted one
+	// identically. Late enough to slide the window and evict.
+	for asn := bgp.ASN(100); asn < 110; asn++ {
+		late := t0.AddDate(0, 0, 5)
+		for i := 0; i < 100; i++ {
+			ts := late.Add(time.Duration(i) * 10 * time.Minute)
+			restored.Observe(asn, 1, ts, []float64{3, 4, 5})
+			uninterrupted.Observe(asn, 1, ts, []float64{3, 4, 5})
+		}
+		// A too-late result must be dropped by both.
+		restored.Observe(asn, 2, t0, []float64{1})
+		uninterrupted.Observe(asn, 2, t0, []float64{1})
+	}
+	nBins := int(4 * 24 * time.Hour / restored.Options().BinWidth)
+	snapEqual(t, restored, uninterrupted, t0.AddDate(0, 0, 5), nBins)
+}
+
+// TestEngineSnapshotDeterministic pins byte-level reproducibility:
+// snapshotting the same state twice — or a restored copy of it — must
+// produce identical bytes, which is what makes checkpoint diffs and
+// content-addressed storage meaningful.
+func TestEngineSnapshotDeterministic(t *testing.T) {
+	e := New(Options{Window: 2 * 24 * time.Hour})
+	for asn := bgp.ASN(200); asn < 208; asn++ {
+		feed(e, asn, 2, 2, 3)
+	}
+	var a, b bytes.Buffer
+	if err := e.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+	restored, err := Restore(bytes.NewReader(a.Bytes()), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := restored.Snapshot(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("restore→snapshot is not byte-stable")
+	}
+}
+
+func TestEngineRestoreOptions(t *testing.T) {
+	e := New(Options{Window: 24 * time.Hour, MaxLateness: 2 * time.Hour})
+	feed(e, 64500, 2, 1, 1)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero semantic options adopt the snapshot's.
+	r, err := Restore(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Options(), e.Options(); got.BinWidth != want.BinWidth ||
+		got.Window != want.Window || got.MaxLateness != want.MaxLateness ||
+		got.MinTraceroutes != want.MinTraceroutes {
+		t.Fatalf("restored options %+v, want %+v", got, want)
+	}
+
+	// Conflicting semantic options are a typed error, not silent
+	// reinterpretation of the snapshotted bins.
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), Options{BinWidth: time.Minute}); !errors.Is(err, ErrSnapshotOptions) {
+		t.Fatalf("bin-width conflict: %v", err)
+	}
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), Options{Window: time.Hour}); !errors.Is(err, ErrSnapshotOptions) {
+		t.Fatalf("window conflict: %v", err)
+	}
+
+	// A corrupt stream surfaces the wire layer's typed error.
+	raw := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(raw[:len(raw)-2]), Options{}); !errors.Is(err, wire.ErrShortFrame) {
+		t.Fatalf("truncated snapshot: %v", err)
+	}
+}
+
+// splitFeed round-robins the standard feed across k engines by
+// observation index — the map phase of a map-reduce replay.
+func splitFeed(engines []*Engine, asns []bgp.ASN) {
+	i := 0
+	samples := make([]float64, 9)
+	for _, asn := range asns {
+		end := t0.AddDate(0, 0, 2)
+		for ts := t0; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+			delta := 2.0
+			if h := ts.Hour(); h >= 12 && h < 18 {
+				delta += float64(asn % 7)
+			}
+			for j := range samples {
+				samples[j] = delta
+			}
+			for p := 1; p <= 3; p++ {
+				engines[i%len(engines)].Observe(asn, p, ts, samples)
+				i++
+			}
+		}
+	}
+}
+
+// TestEngineMergeEquivalence is the map-reduce pin: the same dataset
+// split K ways across engines with differing shard counts, merged,
+// must be observably identical to one engine having seen everything —
+// K ∈ {1, 2, 8}.
+func TestEngineMergeEquivalence(t *testing.T) {
+	asns := make([]bgp.ASN, 0, 12)
+	for asn := bgp.ASN(300); asn < 312; asn++ {
+		asns = append(asns, asn)
+	}
+	single := New(Options{})
+	splitFeed([]*Engine{single}, asns)
+	nBins := int(48 * time.Hour / single.Options().BinWidth)
+
+	for _, k := range []int{1, 2, 8} {
+		engines := make([]*Engine, k)
+		for i := range engines {
+			// Differing shard counts per engine: merge must re-stripe.
+			engines[i] = New(Options{Shards: 1 << (i % 4)})
+		}
+		splitFeed(engines, asns)
+		merged := engines[0]
+		for _, o := range engines[1:] {
+			if err := merged.Merge(o); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+		}
+		snapEqual(t, merged, single, t0, nBins)
+	}
+}
+
+// TestEngineMergeCommutesAndAssociates pins the algebra DESIGN.md
+// promises: merge order never changes an observable.
+func TestEngineMergeCommutesAndAssociates(t *testing.T) {
+	asns := []bgp.ASN{400, 401, 402, 403, 404}
+	build := func() []*Engine {
+		engines := []*Engine{New(Options{}), New(Options{Shards: 2}), New(Options{Shards: 4})}
+		splitFeed(engines, asns)
+		return engines
+	}
+	nBins := int(48 * time.Hour / New(Options{}).Options().BinWidth)
+
+	// (a⊕b)⊕c
+	left := build()
+	if err := left[0].Merge(left[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := left[0].Merge(left[2]); err != nil {
+		t.Fatal(err)
+	}
+	// c⊕(b⊕a) — reversed association and reversed operand order.
+	right := build()
+	if err := right[1].Merge(right[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := right[2].Merge(right[1]); err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, left[0], right[2], t0, nBins)
+}
+
+func TestEngineMergeErrors(t *testing.T) {
+	e := New(Options{})
+	if err := e.Merge(e); err == nil {
+		t.Fatal("self-merge must fail")
+	}
+	other := New(Options{BinWidth: time.Minute})
+	if err := e.Merge(other); !errors.Is(err, ErrSnapshotOptions) {
+		t.Fatalf("options mismatch: %v", err)
+	}
+}
+
+// TestEngineMergeSharedRegistryCounters pins the counter-fold gate:
+// engines created against one registry share counters, so merging them
+// must not double-count; engines with distinct registries must fold.
+func TestEngineMergeSharedRegistryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := New(Options{Metrics: reg})
+	b := New(Options{Metrics: reg})
+	feed(a, 1, 1, 1, 0)
+	feed(b, 2, 1, 1, 0)
+	want := a.Stats().Ingested // shared counter already holds both feeds
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Ingested; got != want {
+		t.Fatalf("shared-registry merge changed Ingested: %d -> %d", want, got)
+	}
+
+	c, d := New(Options{}), New(Options{})
+	feed(c, 1, 1, 1, 0)
+	feed(d, 2, 1, 1, 0)
+	wantSum := c.Stats().Ingested + d.Stats().Ingested
+	if err := c.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Ingested; got != wantSum {
+		t.Fatalf("distinct-registry merge Ingested = %d, want %d", got, wantSum)
+	}
+}
+
+// benchEngine builds a populated engine for the state-codec benchmarks:
+// 32 ASes × 4 probes × 2 days at 10-minute cadence.
+func benchEngine(tb testing.TB, opts Options) *Engine {
+	e := New(opts)
+	for asn := bgp.ASN(64500); asn < 64532; asn++ {
+		feed(e, asn, 4, 2, float64(asn%7))
+	}
+	return e
+}
+
+// BenchmarkSnapshot measures serializing a resident window: one op
+// writes the full engine state, MB/s is snapshot bytes over wall time.
+func BenchmarkSnapshot(b *testing.B) {
+	e := benchEngine(b, Options{Window: 4 * 24 * time.Hour})
+	var size bytes.Buffer
+	if err := e.Snapshot(&size); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerge measures folding one engine into another. The consumed
+// source is rebuilt outside the timer by restoring its snapshot, so one
+// op is exactly one Merge; MB/s is source-state bytes over merge time.
+func BenchmarkMerge(b *testing.B) {
+	src := benchEngine(b, Options{Window: 4 * 24 * time.Hour})
+	var snap bytes.Buffer
+	if err := src.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(snap.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dst := New(Options{Window: 4 * 24 * time.Hour})
+		feed(dst, 64400, 4, 2, 3)
+		other, err := Restore(bytes.NewReader(snap.Bytes()), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := dst.Merge(other); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stream
+
+// Checkpoint/resume plumbing for long-running monitors: a Checkpointer
+// periodically writes the monitor's engine snapshot to a state file —
+// atomically, via a same-directory temp file and rename — so a killed
+// monitor restarts from its last bin boundary instead of from nothing.
+// The cadence is data-driven, not wall-clock-driven: MaybeCheckpoint
+// snapshots only when the observation watermark has crossed into a new
+// bin since the last checkpoint, which bounds checkpoint I/O to one
+// snapshot per bin width no matter how fast results arrive, and makes
+// replayed archives checkpoint exactly like live feeds.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpointer writes periodic snapshots of one monitor to a state
+// file. It is driven from the goroutine that feeds the monitor (the
+// snapshot needs a quiescent engine) and is not safe for concurrent
+// use.
+type Checkpointer struct {
+	m    *Monitor
+	path string
+	// lastBin is the watermark's bin key at the last checkpoint;
+	// MaybeCheckpoint fires only when the watermark leaves it.
+	lastBin int64
+}
+
+// NewCheckpointer returns a checkpointer writing m's snapshots to path.
+// No snapshot is taken until the first Checkpoint or triggering
+// MaybeCheckpoint call.
+func NewCheckpointer(m *Monitor, path string) *Checkpointer {
+	return &Checkpointer{m: m, path: path, lastBin: -1 << 62}
+}
+
+// MaybeCheckpoint snapshots the monitor iff the newest observation has
+// crossed a bin boundary since the last checkpoint (or since start). It
+// reports whether a checkpoint was written. Call it after each observed
+// result; the bin-boundary gate makes that cheap — a watermark load and
+// a comparison in the common case.
+func (c *Checkpointer) MaybeCheckpoint() (bool, error) {
+	newest, ok := c.m.eng.Newest()
+	if !ok {
+		return false, nil
+	}
+	bin := newest.Truncate(c.m.eng.Options().BinWidth).Unix()
+	if bin == c.lastBin {
+		return false, nil
+	}
+	if err := c.checkpointAt(bin); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Checkpoint snapshots the monitor unconditionally — the shutdown path
+// (SIGTERM, end of input), where losing the partial bin since the last
+// boundary is not acceptable.
+func (c *Checkpointer) Checkpoint() error {
+	newest, ok := c.m.eng.Newest()
+	if !ok {
+		// Nothing observed: nothing worth persisting, and writing an
+		// empty snapshot over a previous one would lose state.
+		return nil
+	}
+	return c.checkpointAt(newest.Truncate(c.m.eng.Options().BinWidth).Unix())
+}
+
+// checkpointAt writes the snapshot and records the covered bin. The
+// write is atomic: snapshot to a temp file in the state file's
+// directory, fsync, then rename over the target — a crash mid-write
+// leaves the previous checkpoint intact, never a truncated one (the
+// wire layer would detect truncation on restore, but the previous good
+// state would still be gone).
+func (c *Checkpointer) checkpointAt(bin int64) error {
+	dir, base := filepath.Split(c.path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.m.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	c.lastBin = bin
+	return nil
+}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/engine"
+)
+
+func TestCheckpointerBinBoundaryGating(t *testing.T) {
+	m := NewMonitor(Options{Window: 24 * time.Hour})
+	path := filepath.Join(t.TempDir(), "state.lmw")
+	c := NewCheckpointer(m, path)
+
+	// Nothing observed: neither path writes a file.
+	if wrote, err := c.MaybeCheckpoint(); err != nil || wrote {
+		t.Fatalf("MaybeCheckpoint on empty monitor = %v, %v", wrote, err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("checkpoint of an empty monitor wrote a state file")
+	}
+
+	// First observation crosses into the first bin: one checkpoint.
+	if err := m.Observe(64500, mkTrace(1, t0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := c.MaybeCheckpoint(); err != nil || !wrote {
+		t.Fatalf("first MaybeCheckpoint = %v, %v, want a write", wrote, err)
+	}
+	// More observations inside the same bin: gated off.
+	for i := 1; i <= 3; i++ {
+		if err := m.Observe(64500, mkTrace(1, t0.Add(time.Duration(i)*time.Minute), 2)); err != nil {
+			t.Fatal(err)
+		}
+		if wrote, err := c.MaybeCheckpoint(); err != nil || wrote {
+			t.Fatalf("same-bin MaybeCheckpoint = %v, %v, want no write", wrote, err)
+		}
+	}
+	// Crossing the 30-minute bin boundary re-arms the gate.
+	if err := m.Observe(64500, mkTrace(1, t0.Add(31*time.Minute), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := c.MaybeCheckpoint(); err != nil || !wrote {
+		t.Fatalf("next-bin MaybeCheckpoint = %v, %v, want a write", wrote, err)
+	}
+}
+
+// TestCheckpointRestoreRoundTrip pins the full file cycle: checkpoint
+// to disk, restore a monitor from the file, and verify it carries the
+// snapshotting monitor's exact state — then that a later checkpoint
+// atomically replaces the file rather than appending.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m := NewMonitor(Options{Window: 6 * 24 * time.Hour})
+	feedDiurnal(t, m, 64500, 3, 3, 5)
+	path := filepath.Join(t.TempDir(), "state.lmw")
+	c := NewCheckpointer(m, path)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	firstSize, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreMonitor(f, Options{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := restored.Stats(), m.Stats(); a != b {
+		t.Fatalf("restored stats %+v, want %+v", a, b)
+	}
+	va, err := restored.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := m.ClassifyAS(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.Class != vb.Class || va.Probes != vb.Probes ||
+		math.Float64bits(va.DailyAmplitude) != math.Float64bits(vb.DailyAmplitude) {
+		t.Fatalf("restored verdict {%v,%d,%v} vs {%v,%d,%v}",
+			va.Class, va.Probes, va.DailyAmplitude, vb.Class, vb.Probes, vb.DailyAmplitude)
+	}
+
+	// Grow the window and checkpoint again: the file is replaced
+	// whole — a stale-size file would mean append or partial write.
+	feedDiurnal(t, m, 64501, 3, 3, 0)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	secondSize, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondSize.Size() <= firstSize.Size() {
+		t.Fatalf("second checkpoint (%d bytes) not larger than first (%d)",
+			secondSize.Size(), firstSize.Size())
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("state dir holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+// TestRestoreMonitorOptionHandling pins the resume option semantics:
+// zero options adopt the snapshot's, conflicting ones fail, and a
+// snapshot from an unbounded engine is not a monitor checkpoint.
+func TestRestoreMonitorOptionHandling(t *testing.T) {
+	m := NewMonitor(Options{Window: 24 * time.Hour, MaxLateness: 2 * time.Hour})
+	if err := m.Observe(64500, mkTrace(1, t0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := m.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestoreMonitor(bytes.NewReader(snap.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.eng.Options(); got.Window != 24*time.Hour || got.MaxLateness != 2*time.Hour {
+		t.Fatalf("restored engine options %+v", got)
+	}
+	if _, err := RestoreMonitor(bytes.NewReader(snap.Bytes()), Options{Window: time.Hour}); err == nil {
+		t.Fatal("conflicting window must fail")
+	}
+
+	// A snapshot of an unbounded (batch) engine cannot seed a windowed
+	// monitor: no eviction horizon was ever enforced on its contents.
+	unbounded := engine.New(engine.Options{})
+	unbounded.Observe(64500, 1, t0, []float64{1, 2, 3})
+	var raw bytes.Buffer
+	if err := unbounded.Snapshot(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreMonitor(bytes.NewReader(raw.Bytes()), Options{}); err == nil {
+		t.Fatal("unbounded snapshot must be rejected")
+	}
+}

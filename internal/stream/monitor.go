@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -114,16 +115,23 @@ func NewMonitor(opts Options) *Monitor {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	eng := engine.New(engine.Options{
+		BinWidth:       opts.BinWidth,
+		MinTraceroutes: opts.MinTraceroutes,
+		Window:         opts.Window,
+		MaxLateness:    opts.MaxLateness,
+		Shards:         opts.Shards,
+		Metrics:        reg,
+	})
+	return newMonitorWithEngine(opts, eng, reg)
+}
+
+// newMonitorWithEngine wraps an already-built engine — the shared tail
+// of NewMonitor and RestoreMonitor.
+func newMonitorWithEngine(opts Options, eng *engine.Engine, reg *telemetry.Registry) *Monitor {
 	return &Monitor{
-		opts: opts,
-		eng: engine.New(engine.Options{
-			BinWidth:       opts.BinWidth,
-			MinTraceroutes: opts.MinTraceroutes,
-			Window:         opts.Window,
-			MaxLateness:    opts.MaxLateness,
-			Shards:         opts.Shards,
-			Metrics:        reg,
-		}),
+		opts:            opts,
+		eng:             eng,
 		classifyRuns:    reg.Counter("stream_classify_runs_total"),
 		classifySeconds: reg.Histogram("stream_classify_seconds", telemetry.DefLatencyBuckets),
 		signalStage:     reg.Histogram("stream_signal_stage_seconds", telemetry.DefLatencyBuckets),
@@ -132,6 +140,50 @@ func NewMonitor(opts Options) *Monitor {
 		skipped:         reg.Counter("stream_skipped_total"),
 		ignored:         reg.Counter("stream_ignored_total"),
 	}
+}
+
+// Snapshot serializes the monitor's engine state — window, watermark,
+// counters, every resident bin — to w as a wire StreamSnapshot stream
+// (see engine.Snapshot). The monitor must be quiescent: callers
+// checkpoint from the goroutine that drives Observe, never concurrently
+// with it.
+func (m *Monitor) Snapshot(w io.Writer) error { return m.eng.Snapshot(w) }
+
+// RestoreMonitor rebuilds a monitor from a Snapshot stream, resuming
+// exactly where the snapshotting monitor stopped: same window contents,
+// watermark, and counters, so continue-after-restore classifies
+// bit-identically to never having stopped. Semantic options left zero
+// (BinWidth, MinTraceroutes, MaxLateness — and Window, which
+// deliberately skips the 15-day default here) adopt the snapshot's
+// values; non-zero values must match the snapshot. Runtime options
+// (Shards, Workers, Classifier, Metrics) come from opts as usual.
+func RestoreMonitor(r io.Reader, opts Options) (*Monitor, error) {
+	raw := opts
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	eng, err := engine.Restore(r, engine.Options{
+		// Semantic fields pass through pre-default: zero means "adopt
+		// whatever the snapshot was taken with".
+		BinWidth:       raw.BinWidth,
+		MinTraceroutes: raw.MinTraceroutes,
+		Window:         raw.Window,
+		MaxLateness:    raw.MaxLateness,
+		Shards:         opts.Shards,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eo := eng.Options()
+	if eo.Window == 0 {
+		return nil, errors.New("stream: snapshot was taken from an unbounded engine, not a windowed monitor")
+	}
+	opts.BinWidth, opts.MinTraceroutes = eo.BinWidth, eo.MinTraceroutes
+	opts.Window, opts.MaxLateness = eo.Window, eo.MaxLateness
+	return newMonitorWithEngine(opts, eng, reg), nil
 }
 
 // errNilResult is allocated once; Observe must not build error values

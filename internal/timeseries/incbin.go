@@ -1,6 +1,12 @@
 package timeseries
 
-import "github.com/last-mile-congestion/lastmile/internal/stats"
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/last-mile-congestion/lastmile/internal/stats"
+)
 
 // IncrementalBin accumulates the raw last-mile samples of one (probe,
 // bin) cell and maintains their exact median incrementally: a max-heap
@@ -75,6 +81,101 @@ func (b *IncrementalBin) Median() (v float64, ok bool) {
 	default:
 		return stats.Midpoint(b.lo[0], b.hi[0]), true
 	}
+}
+
+// Snapshot exposes the bin's serializable state: the two heap backing
+// slices (lower-half max-heap, upper-half min-heap) and the group
+// count. The returned slices alias the bin's storage and are valid only
+// until the next Add/AddGroup/Merge — snapshotting callers must encode
+// or copy them before mutating the bin, the same valid-until-next-call
+// contract the wire scanners use.
+func (b *IncrementalBin) Snapshot() (lo, hi []float64, groups int) {
+	return b.lo, b.hi, b.groups
+}
+
+// Merge folds other's samples and group count into b. The median of the
+// merged bin is bit-identical to replaying the union of both bins'
+// inputs through one bin in any order: the two-heap structure maintains
+// an exact order statistic, which is permutation-invariant, and the
+// even-count midpoint uses the shared stats.Midpoint arithmetic either
+// way. Only the internal heap layout depends on merge order, never an
+// observable value — TestIncrementalBinMergeIsUnionReplay pins this.
+// other is unchanged.
+func (b *IncrementalBin) Merge(other *IncrementalBin) {
+	for _, v := range other.lo {
+		b.Add(v)
+	}
+	for _, v := range other.hi {
+		b.Add(v)
+	}
+	b.groups += other.groups
+}
+
+// Heap-state validation errors returned by ValidateHeapState and
+// RestoreBin. Both are wrapped with position context; match with
+// errors.Is.
+var (
+	// ErrHeapInvariant marks heap-state slices that violate the two-heap
+	// structure: unbalanced halves, a broken heap ordering, or an upper
+	// half overlapping the lower one.
+	ErrHeapInvariant = errors.New("timeseries: two-heap invariant violated")
+	// ErrNotFinite marks a NaN or infinite sample, which the bin's
+	// ordering comparisons cannot handle.
+	ErrNotFinite = errors.New("timeseries: non-finite sample in heap state")
+)
+
+// ValidateHeapState checks that (lo, hi) is a well-formed two-heap
+// median state: every sample finite, len(lo) == len(hi) or len(hi)+1,
+// lo a max-heap, hi a min-heap, and max(lo) <= min(hi). It is the
+// shared validation behind RestoreBin and the wire snapshot decoder, so
+// a corrupted or adversarial snapshot can never smuggle a broken heap
+// into a live engine.
+func ValidateHeapState(lo, hi []float64) error {
+	for _, h := range [2][]float64{lo, hi} {
+		for i, v := range h {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: sample %d is %v", ErrNotFinite, i, v)
+			}
+		}
+	}
+	if len(lo) != len(hi) && len(lo) != len(hi)+1 {
+		return fmt.Errorf("%w: halves of %d and %d samples", ErrHeapInvariant, len(lo), len(hi))
+	}
+	if err := validateHeap(lo, lessMax); err != nil {
+		return fmt.Errorf("lower half: %w", err)
+	}
+	if err := validateHeap(hi, lessMin); err != nil {
+		return fmt.Errorf("upper half: %w", err)
+	}
+	if len(lo) > 0 && len(hi) > 0 && lo[0] > hi[0] {
+		return fmt.Errorf("%w: lower-half max %v exceeds upper-half min %v", ErrHeapInvariant, lo[0], hi[0])
+	}
+	return nil
+}
+
+// validateHeap checks the parent-dominates-children ordering.
+func validateHeap(h []float64, less func(a, b float64) bool) error {
+	for i := 1; i < len(h); i++ {
+		if parent := (i - 1) / 2; less(h[i], h[parent]) {
+			return fmt.Errorf("%w: element %d out of order", ErrHeapInvariant, i)
+		}
+	}
+	return nil
+}
+
+// RestoreBin reconstructs an IncrementalBin from snapshotted heap
+// state, re-validating the two-heap invariants first — restoring never
+// trusts its input, so a bin rebuilt from a snapshot behaves exactly
+// like one built by Add calls. The slices are retained by the bin;
+// callers must not mutate them afterwards.
+func RestoreBin(lo, hi []float64, groups int) (*IncrementalBin, error) {
+	if err := ValidateHeapState(lo, hi); err != nil {
+		return nil, err
+	}
+	if groups < 0 {
+		return nil, fmt.Errorf("%w: negative group count %d", ErrHeapInvariant, groups)
+	}
+	return &IncrementalBin{lo: lo, hi: hi, groups: groups}, nil
 }
 
 // lessMax orders a max-heap (parent >= children), lessMin a min-heap.

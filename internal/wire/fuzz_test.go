@@ -43,8 +43,16 @@ func FuzzWireRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	// Snapshot frames and a whole snapshot stream: the checkpoint codec
+	// faces the same adversarial inputs as the archive codecs.
+	f.Add(AppendSnapshotMeta(nil, sampleSnapshotMeta()))
+	for _, p := range sampleSnapshotProbes() {
+		f.Add(AppendSnapshotProbe(nil, p))
+	}
+	f.Add(buildSnapshotArchive(f))
 	f.Add(appendHeader(nil, StreamResults))
 	f.Add(appendHeader(nil, StreamCDNLog))
+	f.Add(appendHeader(nil, StreamSnapshot))
 	f.Add([]byte{0x89, 'L', 'M'})
 	// A truncated gzip envelope: the scanners read through MaybeGzip, so
 	// a broken compression layer must also surface as a typed error.
@@ -81,6 +89,22 @@ func FuzzWireRoundTrip(f *testing.F) {
 		} else if !typed(err) {
 			t.Fatalf("untyped log decode error: %v", err)
 		}
+		var sm SnapshotMeta
+		if err := DecodeSnapshotMetaInto(&sm, data); err == nil {
+			if enc := AppendSnapshotMeta(nil, &sm); !bytes.Equal(enc, data) {
+				t.Fatalf("snapshot meta decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !typed(err) {
+			t.Fatalf("untyped snapshot meta decode error: %v", err)
+		}
+		var sp SnapshotProbe
+		if err := DecodeSnapshotProbeInto(&sp, data); err == nil {
+			if enc := AppendSnapshotProbe(nil, &sp); !bytes.Equal(enc, data) {
+				t.Fatalf("snapshot probe decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !typed(err) {
+			t.Fatalf("untyped snapshot probe decode error: %v", err)
+		}
 
 		// Stream level: never panic, every scanned frame round-trips,
 		// every failure is typed.
@@ -100,6 +124,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 		if err := ls.Err(); err != nil && !typed(err) {
 			t.Fatalf("untyped log scanner error: %v", err)
+		}
+		ss := NewSnapshotScanner(bytes.NewReader(data))
+		for ss.Scan() {
+		}
+		if err := ss.Err(); err != nil && !typed(err) {
+			t.Fatalf("untyped snapshot scanner error: %v", err)
 		}
 	})
 }

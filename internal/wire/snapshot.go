@@ -1,0 +1,415 @@
+package wire
+
+// Frame codec for serialized delay-engine state (StreamSnapshot) — the
+// checkpoint/restore and map-reduce merge substrate. A snapshot stream
+// is the standard wire container (header, length-prefixed frames,
+// canonical varints) carrying one meta frame followed by one frame per
+// resident (AS, probe) window, every frame tagged by its first byte so
+// a frame can never be decoded against the wrong schema:
+//
+//	snapshot := header meta probe*
+//	meta     := 0x00 binWidth(uvarint ns, > 0) minTraceroutes(uvarint)
+//	            window(uvarint ns) maxLateness(uvarint ns)
+//	            hasNewest(0|1) [newestNano(zigzag)]
+//	            ingested(uvarint) dropped(uvarint) evicted(uvarint)
+//	probe    := 0x01 asn(uvarint, <= MaxUint32) probeID(zigzag)
+//	            nbins(uvarint) bin*
+//	bin      := key(zigzag) groups(uvarint) nlo(uvarint) nhi(uvarint)
+//	            loBits(8 LE)* hiBits(8 LE)*
+//
+// Each bin serializes the two-heap median state exactly as the engine
+// holds it: the lower-half max-heap and upper-half min-heap backing
+// slices, float64 bits as fixed little-endian words. The decoder
+// re-validates everything an encoder could only produce from a live
+// engine — canonical varints, strictly increasing bin keys, and the
+// two-heap invariants via timeseries.ValidateHeapState — so a truncated,
+// bit-flipped, or adversarial snapshot surfaces as a typed corruption
+// error and can never smuggle a broken heap into a restored engine.
+// Within what the validator accepts the codec is bijective, the same
+// encode(decode(b)) == b property the result and log codecs pin.
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// Snapshot frame tags — the first payload byte of every frame.
+const (
+	snapTagMeta  byte = 0
+	snapTagProbe byte = 1
+)
+
+// SnapshotMeta is the snapshot's configuration frame: the engine
+// options that define bin semantics, the observation watermark, and the
+// monotonic ingestion counters, so a restored engine reports continuous
+// operator-visible statistics.
+type SnapshotMeta struct {
+	// BinWidth, MinTraceroutes, Window, and MaxLateness mirror the
+	// engine options the state was accumulated under; a restore into an
+	// engine configured differently would silently change verdicts, so
+	// restorers must reject mismatches.
+	BinWidth       time.Duration
+	MinTraceroutes int
+	Window         time.Duration
+	MaxLateness    time.Duration
+	// HasNewest reports whether any observation was ingested; NewestNano
+	// is the watermark in unix nanoseconds when it was.
+	HasNewest  bool
+	NewestNano int64
+	// Ingested, Dropped, and EvictedBins carry the engine's monotonic
+	// counters across the restart.
+	Ingested, Dropped, EvictedBins int64
+}
+
+// SnapshotBin is one (probe, bin) cell: the bin-start key (unix
+// seconds), the measurement-group count, and the two-heap median state.
+type SnapshotBin struct {
+	Key    int64
+	Groups int
+	Lo, Hi []float64
+}
+
+// SnapshotProbe is one probe's resident window within one AS. Bins are
+// ordered by strictly increasing Key — the canonical frame layout the
+// decoder enforces.
+type SnapshotProbe struct {
+	ASN     bgp.ASN
+	ProbeID int
+	Bins    []SnapshotBin
+}
+
+// AppendSnapshotMeta appends the meta frame payload (without the length
+// prefix) to dst. Encoding is deterministic: equal metas produce equal
+// bytes.
+func AppendSnapshotMeta(dst []byte, m *SnapshotMeta) []byte {
+	dst = append(dst, snapTagMeta)
+	dst = appendUvarint(dst, uint64(m.BinWidth))
+	dst = appendUvarint(dst, uint64(m.MinTraceroutes))
+	dst = appendUvarint(dst, uint64(m.Window))
+	dst = appendUvarint(dst, uint64(m.MaxLateness))
+	if m.HasNewest {
+		dst = append(dst, 1)
+		dst = appendZigzag(dst, m.NewestNano)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendUvarint(dst, uint64(m.Ingested))
+	dst = appendUvarint(dst, uint64(m.Dropped))
+	dst = appendUvarint(dst, uint64(m.EvictedBins))
+	return dst
+}
+
+// decodeCount decodes a uvarint that must fit a non-negative int64.
+func decodeCount(b []byte) (int64, []byte, error) {
+	u, n, err := uvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if u > math.MaxInt64 {
+		return 0, nil, ErrBadFrame
+	}
+	return int64(u), b[n:], nil
+}
+
+// DecodeSnapshotMetaInto decodes one meta frame payload into m. The
+// whole payload must be consumed.
+func DecodeSnapshotMetaInto(m *SnapshotMeta, payload []byte) error {
+	*m = SnapshotMeta{}
+	if len(payload) == 0 {
+		return ErrShortFrame
+	}
+	if payload[0] != snapTagMeta {
+		return ErrBadFrame
+	}
+	b := payload[1:]
+	var v int64
+	var err error
+	if v, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return ErrBadFrame
+	}
+	m.BinWidth = time.Duration(v)
+	if v, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	m.MinTraceroutes = int(v)
+	if v, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	m.Window = time.Duration(v)
+	if v, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	m.MaxLateness = time.Duration(v)
+	if len(b) == 0 {
+		return ErrShortFrame
+	}
+	switch b[0] {
+	case 0:
+	case 1:
+		m.HasNewest = true
+	default:
+		return ErrBadFrame
+	}
+	b = b[1:]
+	if m.HasNewest {
+		if m.NewestNano, b, err = decodeInt64(b); err != nil {
+			return err
+		}
+	}
+	if m.Ingested, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	if m.Dropped, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	if m.EvictedBins, b, err = decodeCount(b); err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// AppendSnapshotProbe appends one probe-window frame payload (without
+// the length prefix) to dst. Bins must already be ordered by strictly
+// increasing Key and hold valid two-heap state — the layout the engine
+// produces and the decoder enforces.
+func AppendSnapshotProbe(dst []byte, p *SnapshotProbe) []byte {
+	dst = append(dst, snapTagProbe)
+	dst = appendUvarint(dst, uint64(p.ASN))
+	dst = appendZigzag(dst, int64(p.ProbeID))
+	dst = appendUvarint(dst, uint64(len(p.Bins)))
+	for i := range p.Bins {
+		bin := &p.Bins[i]
+		dst = appendZigzag(dst, bin.Key)
+		dst = appendUvarint(dst, uint64(bin.Groups))
+		dst = appendUvarint(dst, uint64(len(bin.Lo)))
+		dst = appendUvarint(dst, uint64(len(bin.Hi)))
+		for _, v := range bin.Lo {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		for _, v := range bin.Hi {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// DecodeSnapshotProbeInto decodes one probe-window frame payload into
+// p, reusing p's bin and heap storage, and re-validates what a correct
+// encoder could only have produced from live engine state: strictly
+// increasing bin keys and the two-heap median invariants
+// (timeseries.ValidateHeapState — finite samples, balanced halves, heap
+// order, disjoint partition). Any violation is ErrBadFrame; on error
+// p's contents are unspecified.
+func DecodeSnapshotProbeInto(p *SnapshotProbe, payload []byte) error {
+	bins := p.Bins[:0]
+	*p = SnapshotProbe{Bins: bins}
+	if len(payload) == 0 {
+		return ErrShortFrame
+	}
+	if payload[0] != snapTagProbe {
+		return ErrBadFrame
+	}
+	b := payload[1:]
+	u, n, err := uvarint(b)
+	if err != nil {
+		return err
+	}
+	if u > math.MaxUint32 {
+		return ErrBadFrame
+	}
+	p.ASN = bgp.ASN(u)
+	b = b[n:]
+	if p.ProbeID, b, err = decodeInt(b); err != nil {
+		return err
+	}
+	nbins, n, err := uvarint(b)
+	if err != nil {
+		return err
+	}
+	b = b[n:]
+	// Each bin costs at least four bytes (key, groups, two counts), so a
+	// count beyond the remaining payload is structurally impossible.
+	if nbins > uint64(len(b))/4 {
+		return ErrBadFrame
+	}
+	for bi := uint64(0); bi < nbins; bi++ {
+		// Reuse the previous decode's heap storage when the bins slice
+		// still has capacity for this cell.
+		var lo, hi []float64
+		if int(bi) < cap(p.Bins) {
+			prev := p.Bins[:bi+1][bi]
+			lo, hi = prev.Lo[:0], prev.Hi[:0]
+		}
+		bin := SnapshotBin{Lo: lo, Hi: hi}
+		if bin.Key, b, err = decodeInt64(b); err != nil {
+			return err
+		}
+		if bi > 0 && bin.Key <= p.Bins[bi-1].Key {
+			return ErrBadFrame
+		}
+		var groups int64
+		if groups, b, err = decodeCount(b); err != nil {
+			return err
+		}
+		bin.Groups = int(groups)
+		nlo, n, err := uvarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		nhi, n, err := uvarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		if nlo > uint64(len(b))/8 || nhi > (uint64(len(b))-nlo*8)/8 {
+			return ErrShortFrame
+		}
+		for i := uint64(0); i < nlo; i++ {
+			bin.Lo = append(bin.Lo, math.Float64frombits(binary.LittleEndian.Uint64(b))) //lmvet:ignore allocguard heap slices reach steady-state capacity on the first restore pass, then appends reuse it
+			b = b[8:]
+		}
+		for i := uint64(0); i < nhi; i++ {
+			bin.Hi = append(bin.Hi, math.Float64frombits(binary.LittleEndian.Uint64(b))) //lmvet:ignore allocguard heap slices reach steady-state capacity on the first restore pass, then appends reuse it
+			b = b[8:]
+		}
+		if err := timeseries.ValidateHeapState(bin.Lo, bin.Hi); err != nil {
+			return ErrBadFrame
+		}
+		p.Bins = append(p.Bins, bin) //lmvet:ignore allocguard bin slice reaches steady-state capacity on the first restore pass
+	}
+	if len(b) != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// errProbeBeforeMeta marks a snapshot writer misuse: the meta frame
+// must open the stream.
+var errProbeBeforeMeta = errors.New("wire: snapshot probe frame before meta frame")
+
+// SnapshotWriter frames engine snapshots onto w: exactly one meta frame
+// first, then any number of probe-window frames. The encode buffer is
+// pooled in the underlying Writer, so snapshotting a large engine
+// allocates per largest frame, not per frame.
+type SnapshotWriter struct {
+	w         *Writer
+	wroteMeta bool
+}
+
+// NewSnapshotWriter returns a writer producing a StreamSnapshot stream.
+func NewSnapshotWriter(w io.Writer) *SnapshotWriter {
+	return &SnapshotWriter{w: NewWriter(w, StreamSnapshot)}
+}
+
+// WriteMeta writes the mandatory opening meta frame.
+func (sw *SnapshotWriter) WriteMeta(m *SnapshotMeta) error {
+	sw.wroteMeta = true
+	sw.w.buf = AppendSnapshotMeta(sw.w.buf[:0], m)
+	return sw.w.writeFrame(sw.w.buf)
+}
+
+// WriteProbe writes one probe-window frame. The meta frame must have
+// been written first.
+func (sw *SnapshotWriter) WriteProbe(p *SnapshotProbe) error {
+	if !sw.wroteMeta {
+		return errProbeBeforeMeta
+	}
+	sw.w.buf = AppendSnapshotProbe(sw.w.buf[:0], p)
+	return sw.w.writeFrame(sw.w.buf)
+}
+
+// Flush flushes buffered output. A snapshot without its meta frame is
+// invalid, so Flush before WriteMeta fails rather than emitting a
+// stream no reader accepts.
+func (sw *SnapshotWriter) Flush() error {
+	if !sw.wroteMeta {
+		return errProbeBeforeMeta
+	}
+	return sw.w.Flush()
+}
+
+// SnapshotScanner streams a snapshot back: the meta frame via Meta,
+// then one probe window per Scan, each decoded into owned storage that
+// the next Scan overwrites — the same zero-steady-state-allocation
+// discipline as Scanner. Transparently decompresses gzip.
+type SnapshotScanner struct {
+	f        frameReader
+	meta     SnapshotMeta
+	probe    SnapshotProbe
+	metaRead bool
+}
+
+// NewSnapshotScanner wraps r, which must carry a StreamSnapshot wire
+// stream (optionally gzip-compressed).
+func NewSnapshotScanner(r io.Reader) *SnapshotScanner {
+	return &SnapshotScanner{f: newFrameReader(r)}
+}
+
+// Meta returns the snapshot's meta frame, reading it on first call. A
+// stream that ends before the mandatory meta frame is a truncated
+// snapshot (ErrShortFrame).
+func (s *SnapshotScanner) Meta() (*SnapshotMeta, error) {
+	if s.metaRead {
+		return &s.meta, s.f.err
+	}
+	if s.f.err != nil {
+		return nil, s.f.err
+	}
+	s.metaRead = true
+	payload, err := s.f.next(StreamSnapshot)
+	if err == io.EOF {
+		err = s.f.corruptHere(ErrShortFrame)
+	}
+	if err == nil {
+		if derr := DecodeSnapshotMetaInto(&s.meta, payload); derr != nil {
+			err = s.f.corruptHere(derr)
+		}
+	}
+	s.f.err = err
+	return &s.meta, err
+}
+
+// Scan advances to the next probe-window frame, reading the meta frame
+// first if Meta has not been called. It returns false at end of input
+// or on the first error; check Err. Each Scan overwrites the window
+// returned by Probe.
+func (s *SnapshotScanner) Scan() bool {
+	if _, err := s.Meta(); err != nil {
+		return false
+	}
+	payload, err := s.f.next(StreamSnapshot)
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.f.err = err
+		return false
+	}
+	if err := DecodeSnapshotProbeInto(&s.probe, payload); err != nil {
+		s.f.err = s.f.corruptHere(err)
+		return false
+	}
+	return true
+}
+
+// Probe returns the window decoded by the last successful Scan. The
+// pointer and everything it references are valid until the next Scan
+// call, which reuses the same storage.
+func (s *SnapshotScanner) Probe() *SnapshotProbe { return &s.probe }
+
+// Err returns the first error encountered, or nil at clean end of
+// input.
+func (s *SnapshotScanner) Err() error { return s.f.err }

@@ -1,0 +1,377 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/timeseries"
+)
+
+// heapFrom replays vs through an IncrementalBin and returns the
+// resulting valid two-heap state — snapshot payloads must carry heap
+// layouts a real engine can produce, or the decoder's invariant checks
+// reject them.
+func heapFrom(vs ...float64) (lo, hi []float64) {
+	b := &timeseries.IncrementalBin{}
+	for _, v := range vs {
+		b.Add(v)
+	}
+	lo, hi, _ = b.Snapshot()
+	return lo, hi
+}
+
+func sampleSnapshotMeta() *SnapshotMeta {
+	return &SnapshotMeta{
+		BinWidth:       30 * time.Minute,
+		MinTraceroutes: 3,
+		Window:         15 * 24 * time.Hour,
+		MaxLateness:    time.Hour,
+		HasNewest:      true,
+		NewestNano:     time.Date(2020, 2, 7, 11, 29, 3, 500, time.UTC).UnixNano(),
+		Ingested:       12345,
+		Dropped:        17,
+		EvictedBins:    890,
+	}
+}
+
+func sampleSnapshotProbes() []*SnapshotProbe {
+	lo1, hi1 := heapFrom(4.5, 2.25, 9, 1.125, 2.25)
+	lo2, hi2 := heapFrom(0.5)
+	lo3, hi3 := heapFrom(7, 7, 7, 8)
+	return []*SnapshotProbe{
+		{ASN: 64500, ProbeID: 1, Bins: []SnapshotBin{
+			{Key: 1580986800, Groups: 3, Lo: lo1, Hi: hi1},
+			{Key: 1580988600, Groups: 1, Lo: lo2, Hi: hi2},
+		}},
+		{ASN: 64501, ProbeID: -2, Bins: []SnapshotBin{
+			{Key: -1800, Groups: 4, Lo: lo3, Hi: hi3},
+		}},
+		{ASN: 64502, ProbeID: 9, Bins: nil},
+	}
+}
+
+// buildSnapshotArchive frames the sample snapshot into a byte archive.
+func buildSnapshotArchive(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewSnapshotWriter(&buf)
+	if err := sw.WriteMeta(sampleSnapshotMeta()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sampleSnapshotProbes() {
+		if err := sw.WriteProbe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotStreamRoundTrip(t *testing.T) {
+	arch := buildSnapshotArchive(t)
+	sc := NewSnapshotScanner(bytes.NewReader(arch))
+	meta, err := sc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *meta != *sampleSnapshotMeta() {
+		t.Fatalf("meta = %+v, want %+v", meta, sampleSnapshotMeta())
+	}
+	want := sampleSnapshotProbes()
+	var got int
+	for sc.Scan() {
+		p := sc.Probe()
+		w := want[got]
+		if p.ASN != w.ASN || p.ProbeID != w.ProbeID || len(p.Bins) != len(w.Bins) {
+			t.Fatalf("probe %d = {%v %d %d bins}, want {%v %d %d bins}",
+				got, p.ASN, p.ProbeID, len(p.Bins), w.ASN, w.ProbeID, len(w.Bins))
+		}
+		// Re-encoding the decoded frame must reproduce the original
+		// payload byte for byte — the encode(decode(b)) == b half of the
+		// bijection, per frame.
+		if enc, orig := AppendSnapshotProbe(nil, p), AppendSnapshotProbe(nil, w); !bytes.Equal(enc, orig) {
+			t.Fatalf("probe %d re-encoded differently:\n in %x\nout %x", got, orig, enc)
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("scanned %d probe frames, want %d", got, len(want))
+	}
+}
+
+func TestSnapshotMetaCanonicalNoWatermark(t *testing.T) {
+	m := &SnapshotMeta{BinWidth: time.Second, MinTraceroutes: 1}
+	payload := AppendSnapshotMeta(nil, m)
+	var back SnapshotMeta
+	if err := DecodeSnapshotMetaInto(&back, payload); err != nil {
+		t.Fatal(err)
+	}
+	if back != *m {
+		t.Fatalf("round trip: %+v vs %+v", back, m)
+	}
+	if enc := AppendSnapshotMeta(nil, &back); !bytes.Equal(enc, payload) {
+		t.Fatalf("non-canonical meta encoding")
+	}
+}
+
+func TestSnapshotWriterRequiresMetaFirst(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSnapshotWriter(&buf)
+	if err := sw.WriteProbe(sampleSnapshotProbes()[0]); err == nil {
+		t.Fatal("probe frame before meta must fail")
+	}
+	if err := sw.Flush(); err == nil {
+		t.Fatal("flushing a snapshot without its meta frame must fail")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("misused writer emitted %d bytes", buf.Len())
+	}
+}
+
+func TestSnapshotScannerTruncatedBeforeMeta(t *testing.T) {
+	// A header-only snapshot stream is a truncated snapshot: the meta
+	// frame is mandatory.
+	sc := NewSnapshotScanner(bytes.NewReader(appendHeader(nil, StreamSnapshot)))
+	if _, err := sc.Meta(); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("Meta on header-only stream = %v, want ErrShortFrame", err)
+	}
+	if sc.Scan() {
+		t.Fatal("Scan succeeded on header-only stream")
+	}
+}
+
+func TestSnapshotScannerRejectsSecondMeta(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, StreamSnapshot)
+	meta := AppendSnapshotMeta(nil, sampleSnapshotMeta())
+	for i := 0; i < 2; i++ {
+		if err := w.writeFrame(meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSnapshotScanner(bytes.NewReader(buf.Bytes()))
+	if sc.Scan() {
+		t.Fatal("scanned a meta frame as a probe window")
+	}
+	if err := sc.Err(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestSnapshotStreamCorruptionTable mutates a valid snapshot archive
+// and asserts every corruption maps onto its typed sentinel.
+func TestSnapshotStreamCorruptionTable(t *testing.T) {
+	arch := buildSnapshotArchive(t)
+	mutate := func(mut func([]byte)) []byte {
+		b := append([]byte(nil), arch...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", mutate(func(b []byte) { b[4] = 99 }), ErrVersion},
+		{"results stream type", mutate(func(b []byte) { b[5] = StreamResults }), ErrStreamType},
+		{"unknown stream type", mutate(func(b []byte) { b[5] = 200 }), ErrStreamType},
+		{"truncated header", arch[:4], ErrShortFrame},
+		{"truncated mid-frame", arch[:len(arch)-3], ErrShortFrame},
+		{"truncated at length", arch[:HeaderLen+1], ErrShortFrame},
+		{"oversized length", append(append([]byte(nil), arch[:HeaderLen]...), 0xff, 0xff, 0xff, 0xff, 0x7f), ErrFrameTooLarge},
+		{"overlong length", append(append([]byte(nil), arch[:HeaderLen]...), 0x80, 0x00), ErrOverlongVarint},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := NewSnapshotScanner(bytes.NewReader(tc.data))
+			for sc.Scan() {
+			}
+			if err := sc.Err(); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// snapshotSentinels is the full typed-error contract of the snapshot
+// decoders: every rejection must be one of these.
+func isTypedWireError(err error) bool {
+	for _, s := range []error{
+		ErrBadMagic, ErrVersion, ErrStreamType, ErrShortFrame,
+		ErrFrameTooLarge, ErrOverlongVarint, ErrTrailingBytes, ErrBadFrame,
+	} {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSnapshotPayloadCorruptionExhaustive runs the payload decoders
+// over every truncation and every single-byte mutation of the sample
+// frames: each must either decode canonically or fail with a typed
+// error — never panic, never decode to something that re-encodes
+// differently.
+func TestSnapshotPayloadCorruptionExhaustive(t *testing.T) {
+	payloads := [][]byte{AppendSnapshotMeta(nil, sampleSnapshotMeta())}
+	for _, p := range sampleSnapshotProbes() {
+		payloads = append(payloads, AppendSnapshotProbe(nil, p))
+	}
+	check := func(data []byte) {
+		t.Helper()
+		var m SnapshotMeta
+		if err := DecodeSnapshotMetaInto(&m, data); err == nil {
+			if enc := AppendSnapshotMeta(nil, &m); !bytes.Equal(enc, data) {
+				t.Fatalf("meta decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !isTypedWireError(err) {
+			t.Fatalf("untyped meta decode error on %x: %v", data, err)
+		}
+		var p SnapshotProbe
+		if err := DecodeSnapshotProbeInto(&p, data); err == nil {
+			if enc := AppendSnapshotProbe(nil, &p); !bytes.Equal(enc, data) {
+				t.Fatalf("probe decoded non-canonically:\n in %x\nout %x", data, enc)
+			}
+		} else if !isTypedWireError(err) {
+			t.Fatalf("untyped probe decode error on %x: %v", data, err)
+		}
+	}
+	for _, payload := range payloads {
+		for cut := 0; cut < len(payload); cut++ {
+			check(payload[:cut])
+		}
+		for i := 0; i < len(payload); i++ {
+			for _, flip := range []byte{0x01, 0x80, 0xff} {
+				b := append([]byte(nil), payload...)
+				b[i] ^= flip
+				check(b)
+			}
+		}
+	}
+}
+
+func TestSnapshotDecodeRejectsBrokenHeapState(t *testing.T) {
+	// Hand-build a probe frame whose heap state violates the two-heap
+	// partition (lower-half max 9 > upper-half min 1): structurally
+	// valid wire bytes, semantically impossible engine state.
+	payload := []byte{snapTagProbe}
+	payload = appendUvarint(payload, 64500)
+	payload = appendZigzag(payload, 1)
+	payload = appendUvarint(payload, 1) // one bin
+	payload = appendZigzag(payload, 1800)
+	payload = appendUvarint(payload, 1) // groups
+	payload = appendUvarint(payload, 1) // nlo
+	payload = appendUvarint(payload, 1) // nhi
+	var w [8]byte
+	putFloat := func(v float64) {
+		for i, b := range f64bytes(v, w[:]) {
+			_ = i
+			payload = append(payload, b)
+		}
+	}
+	putFloat(9)
+	putFloat(1)
+	var p SnapshotProbe
+	if err := DecodeSnapshotProbeInto(&p, payload); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// f64bytes renders v as the codec's fixed 8-byte little-endian word.
+func f64bytes(v float64, dst []byte) []byte {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(bits >> (8 * i))
+	}
+	return dst[:8]
+}
+
+func TestSnapshotDecodeRejectsUnsortedBinKeys(t *testing.T) {
+	p := &SnapshotProbe{ASN: 1, ProbeID: 1, Bins: []SnapshotBin{
+		{Key: 3600, Groups: 1},
+		{Key: 1800, Groups: 1},
+	}}
+	payload := AppendSnapshotProbe(nil, p)
+	var back SnapshotProbe
+	if err := DecodeSnapshotProbeInto(&back, payload); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestSnapshotDecodeRejectsZeroBinWidth(t *testing.T) {
+	m := &SnapshotMeta{BinWidth: 0}
+	payload := AppendSnapshotMeta(nil, m)
+	var back SnapshotMeta
+	if err := DecodeSnapshotMetaInto(&back, payload); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestSnapshotDecodeRejectsWrongTag(t *testing.T) {
+	meta := AppendSnapshotMeta(nil, sampleSnapshotMeta())
+	probe := AppendSnapshotProbe(nil, sampleSnapshotProbes()[0])
+	var m SnapshotMeta
+	if err := DecodeSnapshotMetaInto(&m, probe); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("meta decoder accepted a probe frame: %v", err)
+	}
+	var p SnapshotProbe
+	if err := DecodeSnapshotProbeInto(&p, meta); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("probe decoder accepted a meta frame: %v", err)
+	}
+	if err := DecodeSnapshotMetaInto(&m, nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("meta decoder on empty payload: %v", err)
+	}
+	if err := DecodeSnapshotProbeInto(&p, nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("probe decoder on empty payload: %v", err)
+	}
+}
+
+// TestSnapshotScannerReusesStorage pins the valid-until-next-Scan
+// contract: steady-state scanning of uniform probe frames allocates
+// nothing once buffers reach capacity.
+func TestSnapshotScannerReusesStorage(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSnapshotWriter(&buf)
+	if err := sw.WriteMeta(sampleSnapshotMeta()); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := heapFrom(1, 2, 3, 4, 5)
+	for i := 0; i < 64; i++ {
+		p := &SnapshotProbe{ASN: 64500, ProbeID: i, Bins: []SnapshotBin{{Key: 1800, Groups: 3, Lo: lo, Hi: hi}}}
+		if err := sw.WriteProbe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSnapshotScanner(bytes.NewReader(buf.Bytes()))
+	if _, err := sc.Meta(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up the reused buffers, then the remaining frames must not
+	// allocate in the decode path.
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if !sc.Scan() {
+			t.Fatal("stream exhausted mid-measurement")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Scan allocates %v times per call", allocs)
+	}
+}

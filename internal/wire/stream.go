@@ -390,7 +390,9 @@ func (rd *Reader) StreamType() byte { return rd.typ }
 
 // Index returns the stream offset of every frame's length prefix, in
 // order — the seek table for ResultAt. A truncated or corrupt length
-// prefix surfaces as a typed error locating the broken frame.
+// prefix surfaces as a typed error locating the broken frame. A
+// header-only archive (zero frames) is valid: Index returns an empty
+// table and a nil error.
 func (rd *Reader) Index() ([]int64, error) {
 	var offs []int64
 	off := int64(HeaderLen)
@@ -415,6 +417,10 @@ func (rd *Reader) Index() ([]int64, error) {
 // ResultAt decodes the frame whose length prefix starts at off
 // (normally an Index entry) into dst, returning the attributed AS and
 // the offset of the next frame. The archive must carry StreamResults.
+// Offsets at or past the end of the archive — such as the end offset
+// returned for the final frame — fail with a located ErrShortFrame;
+// callers iterating a seek table should bound themselves by Index's
+// entries rather than probing for the end.
 func (rd *Reader) ResultAt(off int64, dst *traceroute.Result) (bgp.ASN, int64, error) {
 	if rd.typ != StreamResults {
 		return 0, 0, ErrStreamType

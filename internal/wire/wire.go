@@ -56,6 +56,10 @@ const (
 	StreamResults byte = 1
 	// StreamCDNLog is the stream type carrying CDN access-log entries.
 	StreamCDNLog byte = 2
+	// StreamSnapshot is the stream type carrying serialized delay-engine
+	// state: one meta frame (engine configuration, watermark, monotonic
+	// counters) followed by one frame per resident (AS, probe) window.
+	StreamSnapshot byte = 3
 
 	// HeaderLen is the byte length of the stream header.
 	HeaderLen = 6

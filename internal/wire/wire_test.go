@@ -418,6 +418,33 @@ func TestReaderIndexAndResultAt(t *testing.T) {
 	}
 }
 
+// TestReaderZeroFrames pins the documented header-only contract: an
+// archive with no frames indexes to an empty seek table without error,
+// and probing ResultAt at the archive's end offset fails with a located
+// ErrShortFrame rather than fabricating a frame.
+func TestReaderZeroFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, StreamResults)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := rd.Index()
+	if err != nil {
+		t.Fatalf("Index on zero-frame archive: %v", err)
+	}
+	if len(offs) != 0 {
+		t.Fatalf("Index on zero-frame archive found %d frames", len(offs))
+	}
+	var r traceroute.Result
+	if _, _, err := rd.ResultAt(int64(buf.Len()), &r); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("ResultAt at end offset = %v, want ErrShortFrame", err)
+	}
+}
+
 func TestReaderErrors(t *testing.T) {
 	archive, _ := buildArchive(t)
 

@@ -308,6 +308,14 @@ func RunSurvey(period string, results []AttributedResult, opts SurveyOptions) (*
 	return core.RunSurvey(period, results, opts)
 }
 
+// RunSurveySharded is RunSurvey's map-reduce form: the dataset is split
+// round-robin across split independent engines, fed in parallel, and
+// merged before classification. Per-bin medians are exact order
+// statistics, so the survey is bit-identical at any split count.
+func RunSurveySharded(period string, results []AttributedResult, split int, opts SurveyOptions) (*Survey, []SkippedAS, error) {
+	return core.RunSurveySharded(period, results, split, opts)
+}
+
 // ASN is an autonomous system number.
 type ASN = bgp.ASN
 
@@ -464,6 +472,26 @@ type StreamStats = stream.Stats
 
 // NewStreamMonitor creates a streaming monitor.
 func NewStreamMonitor(opts StreamOptions) *StreamMonitor { return stream.NewMonitor(opts) }
+
+// RestoreStreamMonitor rebuilds a monitor from a state snapshot written
+// by StreamMonitor.Snapshot, resuming with the window contents,
+// watermark, and counters of the snapshotting monitor — the
+// checkpoint/resume path of a long-running monitor. Semantic options
+// left zero adopt the snapshot's values; non-zero ones must match it.
+func RestoreStreamMonitor(r io.Reader, opts StreamOptions) (*StreamMonitor, error) {
+	return stream.RestoreMonitor(r, opts)
+}
+
+// StreamCheckpointer periodically snapshots one monitor to a state
+// file, atomically, gated on the observation watermark crossing a bin
+// boundary. Drive it from the goroutine that feeds the monitor.
+type StreamCheckpointer = stream.Checkpointer
+
+// NewStreamCheckpointer returns a checkpointer writing m's snapshots to
+// path.
+func NewStreamCheckpointer(m *StreamMonitor, path string) *StreamCheckpointer {
+	return stream.NewCheckpointer(m, path)
+}
 
 // --- Telemetry ---
 

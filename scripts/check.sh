@@ -70,6 +70,16 @@ go test -race -count=1 ./internal/engine/
 go test -race -count=1 -run 'ReplayEquivalence' ./internal/experiments/
 go test -race -count=1 -run 'Equivalence|OutOfOrder' ./internal/core/ ./internal/stream/
 
+# The serializable-state contract: a K-way split-and-merge survey and a
+# snapshot/restore/continue monitor both reproduce single-engine
+# verdicts bit for bit, under the race detector and uncached so the
+# parallel map phase reschedules every run.
+stage "go test -race -count=1 (merge equivalence)"
+go test -race -count=1 -run 'SplitMerge|SnapshotRestore|ShardedEquivalence' \
+  ./internal/core/ ./internal/experiments/
+go test -race -count=1 -run 'Checkpoint|RestoreMonitor' ./internal/stream/
+go test -race -count=1 -run 'ResumeAfterInterrupt' ./cmd/lmmonitor/
+
 # Telemetry registry: a dedicated uncached -race stress pass — eight
 # goroutines hammer one registry while snapshots render concurrently,
 # and snapshots must be byte-identical at every worker count.
