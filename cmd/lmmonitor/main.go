@@ -32,7 +32,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -43,6 +42,7 @@ import (
 	lastmile "github.com/last-mile-congestion/lastmile"
 	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 	"github.com/last-mile-congestion/lastmile/internal/report"
+	"github.com/last-mile-congestion/lastmile/internal/serve"
 	"github.com/last-mile-congestion/lastmile/internal/stream"
 	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 )
@@ -145,15 +145,7 @@ func serveOps(addr string, reg *telemetry.Registry) (io.Closer, error) {
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/metrics.json", reg.JSONHandler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: reg.OpsMux()}
 	fmt.Fprintf(os.Stderr, "lmmonitor: ops endpoint on http://%s (/metrics, /metrics.json, /debug/pprof)\n", ln.Addr())
 	go func() {
 		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
@@ -207,35 +199,38 @@ type config struct {
 	// is called if the main loop still has not finished by then.
 	grace time.Duration
 	exit  func(int)
+	// clock is the watchdog's time source; nil means the system clock.
+	// Tests inject a serve.FakeClock so the grace period is simulated
+	// time, not a wall-clock sleep.
+	clock serve.Clock
+	// stall, when set, runs at the top of each processed arrival — a test
+	// hook for simulating a main loop stuck mid-ingest.
+	stall func()
 }
 
 // openMonitor builds the monitor, resuming from the checkpoint file
-// when one exists: the restored engine carries the window contents,
-// watermark, and counters of the killed run, so the resumed monitor's
-// verdicts and stats are those of a monitor that never stopped.
+// when a usable one exists: the restored engine carries the window
+// contents, watermark, and counters of the killed run, so the resumed
+// monitor's verdicts and stats are those of a monitor that never
+// stopped. A corrupt checkpoint cold-starts with a logged warning —
+// crash recovery must never be the thing that crashes.
 func openMonitor(cfg config) (*stream.Monitor, error) {
-	opts := stream.Options{
+	opened, err := stream.Open(cfg.state, stream.Options{
 		Window:  cfg.window,
 		Shards:  cfg.shards,
 		Workers: cfg.workers,
 		Metrics: cfg.metrics,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.state != "" {
-		f, err := os.Open(cfg.state)
-		switch {
-		case err == nil:
-			defer ioutil.CloseQuiet(f)
-			m, err := stream.RestoreMonitor(f, opts)
-			if err != nil {
-				return nil, fmt.Errorf("resume from %s: %w", cfg.state, err)
-			}
-			fmt.Fprintf(os.Stderr, "lmmonitor: resumed from checkpoint %s\n", cfg.state)
-			return m, nil
-		case !os.IsNotExist(err):
-			return nil, err
-		}
+	if opened.Warning != nil {
+		fmt.Fprintln(os.Stderr, "lmmonitor:", opened.Warning)
 	}
-	return stream.NewMonitor(opts), nil
+	if opened.Resumed {
+		fmt.Fprintf(os.Stderr, "lmmonitor: resumed from checkpoint %s\n", cfg.state)
+	}
+	return opened.Monitor, nil
 }
 
 func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
@@ -293,7 +288,12 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 	// Watchdog: if a signal arrives and the main loop does not complete
 	// the final flush within the grace period (stuck mid-ingest on a slow
 	// or hostile input), force the flush and exit. done is closed when
-	// run returns, retiring the watchdog.
+	// run returns, retiring the watchdog. The grace is measured on the
+	// injected clock so tests drive it with simulated time.
+	clk := cfg.clock
+	if clk == nil {
+		clk = serve.SystemClock()
+	}
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -304,7 +304,7 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 		}
 		select {
 		case <-done:
-		case <-time.After(cfg.grace):
+		case <-clk.After(cfg.grace):
 			if err := finalFlush("interrupted (forced flush)"); err != nil {
 				fmt.Fprintln(os.Stderr, "lmmonitor:", err)
 			}
@@ -316,6 +316,9 @@ func run(ctx context.Context, cfg config, r io.Reader, out *printer) error {
 
 	var nextReport time.Time
 	process := func(a arrival) error {
+		if cfg.stall != nil {
+			cfg.stall()
+		}
 		if err := feed(a.asn, a.res); err != nil {
 			return err
 		}

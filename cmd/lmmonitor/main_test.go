@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/last-mile-congestion/lastmile/internal/serve"
+	"github.com/last-mile-congestion/lastmile/internal/stream"
 	"github.com/last-mile-congestion/lastmile/internal/telemetry"
 	"github.com/last-mile-congestion/lastmile/internal/traceroute"
 )
@@ -241,12 +243,21 @@ func TestRunInterruptFlushesOnce(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var exits []int
 	var exitMu sync.Mutex
+	// Cancel from inside the processing loop after a fixed number of
+	// arrivals: the interrupt lands at a deterministic point mid-stream,
+	// with no wall-clock sleep deciding how much was ingested.
+	processed := 0
 	cfg := config{
 		window:  5 * 24 * time.Hour,
 		every:   24 * time.Hour,
 		sortIn:  false, // stream mode: process as results arrive
 		metrics: telemetry.NewRegistry(),
 		grace:   0, // watchdog fires immediately on cancel
+		stall: func() {
+			if processed++; processed == 100 {
+				cancel()
+			}
+		},
 		exit: func(code int) {
 			exitMu.Lock()
 			exits = append(exits, code)
@@ -257,8 +268,6 @@ func TestRunInterruptFlushesOnce(t *testing.T) {
 	out := &printer{w: &buf}
 	errc := make(chan error, 1)
 	go func() { errc <- run(ctx, cfg, pr, out) }()
-	time.Sleep(50 * time.Millisecond)
-	cancel()
 	if err := <-errc; err != nil {
 		t.Fatal(err)
 	}
@@ -270,5 +279,95 @@ func TestRunInterruptFlushesOnce(t *testing.T) {
 	}
 	if !strings.Contains(s, "interrupted") {
 		t.Fatalf("missing interrupted header:\n%s", s)
+	}
+}
+
+// TestRunWatchdogForcesFlush pins the watchdog path on simulated time: a
+// main loop stuck mid-ingest when the signal lands does not block the
+// final report — after the grace period (advanced on a fake clock, no
+// wall-clock wait) the watchdog forces exactly one flush and exits 130.
+func TestRunWatchdogForcesFlush(t *testing.T) {
+	input := syntheticJSONL(t, 3, 2)
+	clk := serve.NewFakeClock(testT0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var stallOnce sync.Once
+	exitc := make(chan int, 1)
+	cfg := config{
+		window:  5 * 24 * time.Hour,
+		every:   24 * time.Hour,
+		sortIn:  false,
+		metrics: telemetry.NewRegistry(),
+		grace:   2 * time.Second,
+		clock:   clk,
+		stall: func() {
+			stallOnce.Do(func() { close(stalled) })
+			<-release
+		},
+		exit: func(code int) { exitc <- code },
+	}
+	var buf bytes.Buffer
+	out := &printer{w: &buf}
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, bytes.NewReader(input), out) }()
+
+	<-stalled // the loop is wedged inside process
+	cancel()  // the signal lands; the flush cannot happen normally
+	// The watchdog parks on its grace timer; advancing past it forces
+	// the flush and the exit, with the loop still wedged.
+	clk.BlockUntil(1)
+	clk.Advance(2 * time.Second)
+	if code := <-exitc; code != 130 {
+		t.Fatalf("forced exit code = %d, want 130", code)
+	}
+
+	// Unwedge the loop: run drains out, and the Once makes its own
+	// final-flush attempt a no-op — still exactly one report.
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if got := strings.Count(s, "final state:"); got != 1 {
+		t.Fatalf("final flush count = %d, want 1\n%s", got, s)
+	}
+	if !strings.Contains(s, "interrupted (forced flush)") {
+		t.Fatalf("missing forced-flush header:\n%s", s)
+	}
+}
+
+// TestRunColdStartsOnCorruptState pins crash recovery at the command
+// level: a garbage -state file must not abort the run — it cold-starts,
+// processes the stream, and leaves behind a fresh, resumable checkpoint.
+func TestRunColdStartsOnCorruptState(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.lmw")
+	if err := os.WriteFile(statePath, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := config{
+		window:  5 * 24 * time.Hour,
+		every:   48 * time.Hour,
+		sortIn:  true,
+		metrics: telemetry.NewRegistry(),
+		state:   statePath,
+		grace:   time.Minute,
+	}
+	if err := run(context.Background(), cfg, bytes.NewReader(syntheticJSONL(t, 3, 4)), &printer{w: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "final state:") {
+		t.Fatalf("no final report after corrupt-state cold start:\n%s", buf.String())
+	}
+	// The run replaced the garbage with a checkpoint a new run resumes
+	// from cleanly.
+	res, err := stream.Open(statePath, stream.Options{})
+	if err != nil || res.Warning != nil || !res.Resumed {
+		t.Fatalf("checkpoint after cold start: res %+v, err %v, want clean resume", res, err)
+	}
+	if res.Monitor.Stats().Ingested == 0 {
+		t.Fatal("checkpoint carries no ingested data")
 	}
 }

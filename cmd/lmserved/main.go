@@ -1,0 +1,135 @@
+// Command lmserved is the long-running last-mile monitoring daemon: a
+// stream.Monitor wrapped in the internal/serve lifecycle — declarative
+// config file, per-target ingest with bounded concurrency, SIGHUP/poll
+// hot reload with target diffing, bin-boundary checkpoints, and an ops
+// HTTP endpoint (/metrics, /debug/pprof, /api/*).
+//
+// Usage:
+//
+//	lmserved -config lmserved.json
+//
+// SIGHUP re-reads the config and applies the target diff; SIGINT or
+// SIGTERM drains every target, writes a final checkpoint, and prints
+// the final classification report to stdout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	lastmile "github.com/last-mile-congestion/lastmile"
+	"github.com/last-mile-congestion/lastmile/internal/bgp"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
+	"github.com/last-mile-congestion/lastmile/internal/serve"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "daemon config file (JSON; required)")
+	flag.Parse()
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "lmserved: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hup := make(chan os.Signal, 4)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	if err := run(ctx, hup, *cfgPath, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lmserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires a daemon to the process environment: file-backed sources,
+// stderr logging, and the ops HTTP listener. It returns after the
+// daemon drains and the final report is written to out.
+func run(ctx context.Context, hup <-chan os.Signal, cfgPath string, out, errw io.Writer) error {
+	d, err := serve.New(cfgPath, serve.Options{
+		Open: openFileSource,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, "lmserved: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	var srv *http.Server
+	if addr := d.HTTPAddr(); addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("lmserved: listen: %w", err)
+		}
+		srv = &http.Server{Handler: d.Handler()}
+		go func() {
+			// Serve exits with ErrServerClosed on the Close below; any
+			// other error surfaces in the daemon log.
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(errw, "lmserved: http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(errw, "lmserved: ops endpoint on http://%s\n", ln.Addr())
+	}
+
+	runErr := d.Run(ctx, hup)
+	if srv != nil {
+		// The daemon has drained; in-flight reads of the final snapshot
+		// are not worth delaying exit for.
+		ioutil.CloseQuiet(srv)
+	}
+	if err := d.WriteReport(out); err != nil {
+		return err
+	}
+	return runErr
+}
+
+// fileSource adapts a result archive file (Atlas JSONL or binary wire,
+// optionally gzipped) to the serve.Source interface.
+type fileSource struct {
+	f  *os.File
+	sc lastmile.ResultScanner
+}
+
+// openFileSource opens Target.Source as an archive path.
+func openFileSource(t serve.Target) (serve.Source, error) {
+	f, err := os.Open(t.Source)
+	if err != nil {
+		return nil, err
+	}
+	return &fileSource{f: f, sc: lastmile.NewResultScanner(f)}, nil
+}
+
+// Next returns the next archived result. The scanner reuses its result
+// storage across Scans, which is safe here: the daemon delivers each
+// result to the engine before asking for the next. Attribution comes
+// from the archive when it carries it in-band (wire); the daemon falls
+// back to the target's configured ASN otherwise.
+func (s *fileSource) Next(ctx context.Context) (bgp.ASN, *traceroute.Result, error) {
+	// File reads are not cancellable mid-call; honour ctx between
+	// results, which bounds drain latency to one decode.
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return 0, nil, err
+		}
+		return 0, nil, io.EOF
+	}
+	return bgp.ASN(s.sc.ASN()), s.sc.Result(), nil
+}
+
+// Close releases the archive file.
+func (s *fileSource) Close() error { return s.f.Close() }

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/last-mile-congestion/lastmile/internal/serve"
+	"github.com/last-mile-congestion/lastmile/internal/traceroute"
+)
+
+var testT0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// writeArchive renders days of diurnal traceroutes for nProbes as a
+// newline-delimited Atlas JSON archive file and returns its path.
+func writeArchive(t *testing.T, dir string, nProbes, days int) (string, int) {
+	t.Helper()
+	priv := netip.MustParseAddr("192.168.1.1")
+	pub := netip.MustParseAddr("203.0.113.1")
+	var buf bytes.Buffer
+	tw := traceroute.NewWriter(&buf)
+	n := 0
+	end := testT0.AddDate(0, 0, days)
+	for ts := testT0; ts.Before(end); ts = ts.Add(30 * time.Minute) {
+		delta := 2.0
+		if h := ts.Hour(); h >= 12 && h < 18 {
+			delta += 8
+		}
+		for p := 1; p <= nProbes; p++ {
+			r := &traceroute.Result{
+				ProbeID: p, MsmID: 5004, Timestamp: ts, AF: 4,
+				SrcAddr: netip.MustParseAddr("192.168.1.10"),
+				DstAddr: netip.MustParseAddr("198.41.0.4"),
+			}
+			h1 := traceroute.HopResult{Hop: 1}
+			h2 := traceroute.HopResult{Hop: 2}
+			for i := 0; i < 3; i++ {
+				h1.Replies = append(h1.Replies, traceroute.Reply{From: priv, RTT: 0.5, TTL: 64})
+				h2.Replies = append(h2.Replies, traceroute.Reply{From: pub, RTT: 0.5 + delta, TTL: 254})
+			}
+			r.Hops = []traceroute.HopResult{h1, h2}
+			if err := tw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "archive.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, n
+}
+
+func TestFileSourceReadsArchive(t *testing.T) {
+	path, n := writeArchive(t, t.TempDir(), 2, 1)
+	src, err := openFileSource(serve.Target{Name: "a", ASN: 64500, Source: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	got := 0
+	for {
+		asn, res, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// JSONL carries no in-band attribution: the source reports 0 and
+		// the daemon falls back to the target's configured ASN.
+		if asn != 0 {
+			t.Fatalf("JSONL source attributed AS%d in-band", asn)
+		}
+		if res == nil || res.Timestamp.IsZero() {
+			t.Fatalf("result %d malformed: %+v", got, res)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("read %d results, archive holds %d", got, n)
+	}
+
+	// A cancelled context surfaces between results, not as EOF.
+	src2, err := openFileSource(serve.Target{Name: "a", Source: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := src2.Next(ctx); err != context.Canceled {
+		t.Fatalf("Next on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestOpenFileSourceMissingFile(t *testing.T) {
+	if _, err := openFileSource(serve.Target{Name: "a", Source: "/nonexistent/archive.jsonl"}); err == nil {
+		t.Fatal("want error for missing archive")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	err := run(context.Background(), nil, filepath.Join(t.TempDir(), "absent.json"), io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("want error for missing config file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"targets": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), nil, bad, io.Discard, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no targets") {
+		t.Fatalf("err = %v, want no-targets rejection", err)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe to read while run's goroutine logs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunEndToEnd boots the real binary path — config file, archive
+// source, ops listener on an ephemeral port — waits over HTTP for the
+// target to finish, drains, and checks the final report.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	archive, _ := writeArchive(t, dir, 3, 3)
+	cfgPath := filepath.Join(dir, "lmserved.json")
+	cfg := fmt.Sprintf(`{
+  "http_addr": "127.0.0.1:0",
+  "state_path": %q,
+  "window": "48h", "bin_width": "30m", "min_traceroutes": 3, "max_lateness": "2h",
+  "targets": [{"name": "alpha", "asn": 64500, "source": %q}]
+}`, filepath.Join(dir, "state.lmw"), archive)
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errw := &syncBuffer{}
+	runc := make(chan error, 1)
+	go func() { runc <- run(ctx, nil, cfgPath, &out, errw) }()
+
+	// The ephemeral port is only knowable from the startup log line.
+	addrRe := regexp.MustCompile(`ops endpoint on http://([^\s]+)`)
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(errw.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ops endpoint line in stderr:\n%s", errw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The health route reads the live target table: finished means every
+	// archived result reached the engine.
+	for {
+		resp, err := http.Get(base + "/api/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Targets []struct{ State string } `json:"targets"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(health.Targets) == 1 && health.Targets[0].State == "finished" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("target never finished: %+v", health)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-runc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "AS64500") {
+		t.Fatalf("final report missing AS64500:\n%s", report)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "state.lmw")); err != nil {
+		t.Fatalf("no final checkpoint: %v", err)
+	}
+}

@@ -324,6 +324,19 @@ func (e *Engine) Newest() (time.Time, bool) {
 	return time.Unix(0, n).UTC(), true
 }
 
+// NewestBin returns the epoch-aligned bin key (bin-start unix seconds)
+// covering the newest observation; ok is false before any observation.
+// It is the cheap bin-boundary change detector shared by checkpoint
+// gating and read-snapshot refresh: a watermark load and a division,
+// no locks.
+func (e *Engine) NewestBin() (int64, bool) {
+	n := e.newest.Load()
+	if n == -1<<62 {
+		return 0, false
+	}
+	return e.binKey(n / int64(time.Second)), true
+}
+
 // WindowBounds derives the analysis window ending at the bin boundary
 // just past the newest observation: [start, start + nBins*BinWidth).
 // ok is false for an unbounded engine or before any observation.

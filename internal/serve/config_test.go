@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigFull(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"http_addr": "127.0.0.1:0",
+		"state_path": "/tmp/lmserved.state",
+		"window": "96h",
+		"bin_width": "30m",
+		"min_traceroutes": 3,
+		"max_lateness": 7200000000000,
+		"thresholds": {"low": 0.5, "mild": 1, "severe": 3},
+		"shards": 4,
+		"workers": 2,
+		"max_concurrent": 8,
+		"startup_jitter": "5m",
+		"poll_interval": "1h",
+		"targets": [
+			{"name": "alpha", "asn": 64500, "source": "/data/alpha.jsonl"},
+			{"name": "beta", "asn": 64501, "source": "/data/beta.wire"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HTTPAddr != "127.0.0.1:0" || cfg.StatePath != "/tmp/lmserved.state" {
+		t.Fatalf("addr/state = %q/%q", cfg.HTTPAddr, cfg.StatePath)
+	}
+	// Durations parse from both string and nanosecond-number forms.
+	if time.Duration(cfg.Window) != 96*time.Hour || time.Duration(cfg.MaxLateness) != 2*time.Hour {
+		t.Fatalf("window/lateness = %v/%v", cfg.Window, cfg.MaxLateness)
+	}
+	if cfg.MaxConcurrent != 8 || time.Duration(cfg.StartupJitter) != 5*time.Minute {
+		t.Fatalf("concurrency/jitter = %d/%v", cfg.MaxConcurrent, cfg.StartupJitter)
+	}
+	if len(cfg.Targets) != 2 || cfg.Targets[1].ASN != 64501 {
+		t.Fatalf("targets = %+v", cfg.Targets)
+	}
+}
+
+func TestParseConfigRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown field", `{"tragets": [], "targets": [{"name": "a"}]}`, "unknown field"},
+		{"no targets", `{"targets": []}`, "no targets"},
+		{"unnamed target", `{"targets": [{"asn": 1, "source": "x"}]}`, "has no name"},
+		{"duplicate target", `{"targets": [{"name": "a"}, {"name": "a"}]}`, "duplicate target"},
+		{"negative duration", `{"window": "-1h", "targets": [{"name": "a"}]}`, "negative window"},
+		{"negative count", `{"shards": -1, "targets": [{"name": "a"}]}`, "negative count"},
+		{"bad duration", `{"window": "fortnight", "targets": [{"name": "a"}]}`, "bad duration"},
+		{"bad duration type", `{"window": true, "targets": [{"name": "a"}]}`, "string or number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigDefaultsPreserveEngineZeros(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"targets": [{"name": "a", "asn": 1, "source": "x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxConcurrent != 4 {
+		t.Fatalf("MaxConcurrent = %d, want default 4", cfg.MaxConcurrent)
+	}
+	// Engine-semantic zeros must survive parsing untouched: checkpoint
+	// resume relies on zero meaning "adopt the snapshot's value".
+	if cfg.Window != 0 || cfg.BinWidth != 0 || cfg.MinTraceroutes != 0 || cfg.MaxLateness != 0 {
+		t.Fatalf("engine-semantic fields defaulted: %+v", cfg)
+	}
+}
+
+func TestReloadableFromFreezesEngineSemantics(t *testing.T) {
+	base := func() *Config {
+		cfg, err := ParseConfig([]byte(`{
+			"http_addr": "127.0.0.1:0", "state_path": "s", "window": "96h",
+			"bin_width": "30m", "min_traceroutes": 3, "max_lateness": "2h",
+			"thresholds": {"low": 0.5}, "shards": 2, "max_concurrent": 4,
+			"targets": [{"name": "a", "asn": 1, "source": "x"}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	old := base()
+
+	if err := base().ReloadableFrom(old); err != nil {
+		t.Fatalf("identical config not reloadable: %v", err)
+	}
+
+	// Operational fields reload freely.
+	free := base()
+	free.Workers = 8
+	free.StartupJitter = Duration(time.Minute)
+	free.PollInterval = Duration(time.Hour)
+	free.Targets = append(free.Targets, Target{Name: "b", ASN: 2, Source: "y"})
+	if err := free.ReloadableFrom(old); err != nil {
+		t.Fatalf("operational change rejected: %v", err)
+	}
+
+	// Engine-semantic and bind-once fields are frozen.
+	frozen := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"http_addr", func(c *Config) { c.HTTPAddr = "127.0.0.1:9999" }},
+		{"window", func(c *Config) { c.Window = Duration(48 * time.Hour) }},
+		{"bin_width", func(c *Config) { c.BinWidth = Duration(time.Hour) }},
+		{"min_traceroutes", func(c *Config) { c.MinTraceroutes = 5 }},
+		{"max_lateness", func(c *Config) { c.MaxLateness = Duration(time.Hour) }},
+		{"thresholds", func(c *Config) { c.Thresholds.Severe = 10 }},
+		{"state_path", func(c *Config) { c.StatePath = "other" }},
+		{"shards", func(c *Config) { c.Shards = 16 }},
+		{"max_concurrent", func(c *Config) { c.MaxConcurrent = 1 }},
+	}
+	for _, tc := range frozen {
+		t.Run(tc.field, func(t *testing.T) {
+			next := base()
+			tc.mutate(next)
+			err := next.ReloadableFrom(old)
+			if err == nil || !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.field)
+			}
+		})
+	}
+}
+
+func TestDiffTargets(t *testing.T) {
+	old := []Target{
+		{Name: "keep", ASN: 1, Source: "k"},
+		{Name: "change", ASN: 2, Source: "old"},
+		{Name: "drop", ASN: 3, Source: "d"},
+	}
+	next := []Target{
+		{Name: "zadd", ASN: 4, Source: "z"}, // list order must not matter
+		{Name: "change", ASN: 2, Source: "new"},
+		{Name: "keep", ASN: 1, Source: "k"},
+		{Name: "add", ASN: 5, Source: "a"},
+	}
+	got := DiffTargets(old, next)
+	want := TargetDiff{
+		Added:   []Target{{Name: "add", ASN: 5, Source: "a"}, {Name: "zadd", ASN: 4, Source: "z"}},
+		Removed: []Target{{Name: "drop", ASN: 3, Source: "d"}},
+		Changed: []Target{{Name: "change", ASN: 2, Source: "new"}},
+		Kept:    []Target{{Name: "keep", ASN: 1, Source: "k"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diff = %+v, want %+v", got, want)
+	}
+	// Initial start is the diff against nothing.
+	boot := DiffTargets(nil, old)
+	if len(boot.Added) != 3 || len(boot.Removed)+len(boot.Changed)+len(boot.Kept) != 0 {
+		t.Fatalf("boot diff = %+v", boot)
+	}
+}
+
+func TestClassifierLayersThresholdsOntoDefaults(t *testing.T) {
+	cfg := &Config{Thresholds: ThresholdsConfig{Low: 0.25, Mild: 2, Severe: 8}}
+	opts := cfg.classifier()
+	if opts.Thresholds.Low != 0.25 || opts.Thresholds.Severe != 8 {
+		t.Fatalf("thresholds not applied: %+v", opts.Thresholds)
+	}
+	// The non-threshold knobs must stay at the paper defaults — a zero
+	// MaxGapFrac would make stream.Options discard the whole classifier.
+	if opts.MaxGapFrac == 0 {
+		t.Fatal("MaxGapFrac zeroed: stream.Options would clobber the classifier")
+	}
+	zero := &Config{}
+	if zero.classifier().Thresholds.Severe == 0 {
+		t.Fatal("zero thresholds must select the paper defaults")
+	}
+}

@@ -11,10 +11,65 @@ package stream
 // replayed archives checkpoint exactly like live feeds.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"github.com/last-mile-congestion/lastmile/internal/engine"
+	"github.com/last-mile-congestion/lastmile/internal/ioutil"
 )
+
+// OpenResult reports how Open produced its monitor.
+type OpenResult struct {
+	// Monitor is always non-nil on a nil error.
+	Monitor *Monitor
+	// Resumed is true when the monitor carries a checkpoint's state.
+	Resumed bool
+	// Warning is non-nil when a state file existed but was unusable —
+	// truncated, bit-flipped, or not a monitor checkpoint — and the
+	// monitor is a clean cold start instead. The daemon keeps running
+	// (crash-recovery must never be the thing that crashes); callers
+	// log the warning so the data loss is observable.
+	Warning error
+}
+
+// Open builds a monitor, resuming from the checkpoint file at path when
+// a usable one exists. The failure contract is deliberately asymmetric:
+//
+//   - No state file: clean cold start, no warning.
+//   - Corrupt state file (truncation, bit flips, wrong stream type, an
+//     unbounded-engine snapshot): clean cold start with Warning set —
+//     never a panic, an error, or a silent partial restore. The wire
+//     layer validates structure exhaustively on decode, so a snapshot
+//     either restores whole or is rejected whole.
+//   - Caller error (options conflicting with the snapshot's, an
+//     unreadable path): a real error — these are fixable misconfigur-
+//     ations, and silently ignoring them would run the wrong monitor.
+func Open(path string, opts Options) (OpenResult, error) {
+	if path == "" {
+		return OpenResult{Monitor: NewMonitor(opts)}, nil
+	}
+	f, err := os.Open(path)
+	switch {
+	case os.IsNotExist(err):
+		return OpenResult{Monitor: NewMonitor(opts)}, nil
+	case err != nil:
+		return OpenResult{}, fmt.Errorf("stream: open checkpoint: %w", err)
+	}
+	defer ioutil.CloseQuiet(f)
+	m, err := RestoreMonitor(f, opts)
+	switch {
+	case err == nil:
+		return OpenResult{Monitor: m, Resumed: true}, nil
+	case errors.Is(err, engine.ErrSnapshotOptions):
+		return OpenResult{}, fmt.Errorf("stream: resume from %s: %w", path, err)
+	}
+	return OpenResult{
+		Monitor: NewMonitor(opts),
+		Warning: fmt.Errorf("stream: checkpoint %s unusable, cold-starting: %w", path, err),
+	}, nil
+}
 
 // Checkpointer writes periodic snapshots of one monitor to a state
 // file. It is driven from the goroutine that feeds the monitor (the
@@ -41,11 +96,10 @@ func NewCheckpointer(m *Monitor, path string) *Checkpointer {
 // result; the bin-boundary gate makes that cheap — a watermark load and
 // a comparison in the common case.
 func (c *Checkpointer) MaybeCheckpoint() (bool, error) {
-	newest, ok := c.m.eng.Newest()
+	bin, ok := c.m.NewestBin()
 	if !ok {
 		return false, nil
 	}
-	bin := newest.Truncate(c.m.eng.Options().BinWidth).Unix()
 	if bin == c.lastBin {
 		return false, nil
 	}
@@ -59,13 +113,13 @@ func (c *Checkpointer) MaybeCheckpoint() (bool, error) {
 // (SIGTERM, end of input), where losing the partial bin since the last
 // boundary is not acceptable.
 func (c *Checkpointer) Checkpoint() error {
-	newest, ok := c.m.eng.Newest()
+	bin, ok := c.m.NewestBin()
 	if !ok {
 		// Nothing observed: nothing worth persisting, and writing an
 		// empty snapshot over a previous one would lose state.
 		return nil
 	}
-	return c.checkpointAt(newest.Truncate(c.m.eng.Options().BinWidth).Unix())
+	return c.checkpointAt(bin)
 }
 
 // checkpointAt writes the snapshot and records the covered bin. The

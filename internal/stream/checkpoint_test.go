@@ -155,3 +155,132 @@ func TestRestoreMonitorOptionHandling(t *testing.T) {
 		t.Fatal("unbounded snapshot must be rejected")
 	}
 }
+
+// checkpointBytes snapshots a small populated monitor: the corpus for
+// the corruption matrix below.
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	m := NewMonitor(Options{Window: 24 * time.Hour})
+	for i := 0; i < 3; i++ {
+		if err := m.Observe(64500, mkTrace(1, t0.Add(time.Duration(i)*10*time.Minute), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b bytes.Buffer
+	if err := m.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// openCorrupt writes data as a state file and asserts Open's recovery
+// contract on it: never a panic, never a hard error, never a silent
+// partial restore. Either the file is rejected whole (Warning set, clean
+// cold start) or it restores to a structurally valid monitor — the wire
+// layer carries no checksum, so a mutation that still decodes
+// canonically is indistinguishable from a legitimate checkpoint, and the
+// only promise that matters is that the result is safe to run.
+func openCorrupt(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open on corrupt file returned hard error (want warning cold start): %v", err)
+	}
+	if res.Monitor == nil {
+		t.Fatal("Open returned nil monitor")
+	}
+	if res.Warning != nil {
+		// Rejected whole: the monitor must be a clean cold start...
+		if res.Resumed {
+			t.Fatal("Warning set but Resumed true")
+		}
+		if st := res.Monitor.Stats(); st.Ingested != 0 || st.ASes != 0 || st.Bins != 0 {
+			t.Fatalf("cold start after warning carries state: %+v", st)
+		}
+	}
+	// ...and resumed-or-not, the monitor must be usable: observe and
+	// classify without panicking.
+	if err := res.Monitor.Observe(64501, mkTrace(9, t0.Add(time.Hour), 3)); err != nil {
+		t.Fatalf("monitor unusable after corrupt open: %v", err)
+	}
+	// A sparse AS may legitimately fail classification (too few
+	// traceroutes); the assertion here is only that classify runs.
+	_, _ = res.Monitor.ClassifyAll()
+}
+
+// TestOpenCheckpointCorruptionMatrix sweeps every truncation and every
+// single-byte bit flip (0x01, 0x80, 0xff) of a real checkpoint through
+// Open. Crash recovery must never be the thing that crashes: each
+// variant must cold-start with a warning or restore to a structurally
+// valid monitor.
+func TestOpenCheckpointCorruptionMatrix(t *testing.T) {
+	data := checkpointBytes(t)
+	path := filepath.Join(t.TempDir(), "state.lmw")
+	for cut := 0; cut < len(data); cut++ {
+		openCorrupt(t, path, data[:cut])
+	}
+	for i := 0; i < len(data); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			b := append([]byte(nil), data...)
+			b[i] ^= flip
+			openCorrupt(t, path, b)
+		}
+	}
+}
+
+// TestOpenStateFileContract pins the asymmetric failure contract of
+// Open outside the corruption sweep: missing and empty files, garbage,
+// a healthy resume, and the one case that must stay a hard error —
+// caller options conflicting with the snapshot's.
+func TestOpenStateFileContract(t *testing.T) {
+	dir := t.TempDir()
+	data := checkpointBytes(t)
+
+	// Missing file: silent cold start, no warning.
+	res, err := Open(filepath.Join(dir, "absent.lmw"), Options{})
+	if err != nil || res.Warning != nil || res.Resumed {
+		t.Fatalf("missing file: res %+v, err %v, want silent cold start", res, err)
+	}
+	// Empty path disables checkpointing entirely.
+	res, err = Open("", Options{})
+	if err != nil || res.Warning != nil || res.Monitor == nil {
+		t.Fatalf("empty path: res %+v, err %v", res, err)
+	}
+
+	// Empty and garbage files: warning cold start.
+	for name, contents := range map[string][]byte{
+		"empty.lmw":   {},
+		"garbage.lmw": []byte("not a checkpoint at all"),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Open(path, Options{})
+		if err != nil || res.Warning == nil || res.Resumed {
+			t.Fatalf("%s: res %+v, err %v, want warning cold start", name, res, err)
+		}
+	}
+
+	// A healthy file resumes, warning-free.
+	good := filepath.Join(dir, "good.lmw")
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Open(good, Options{})
+	if err != nil || res.Warning != nil || !res.Resumed {
+		t.Fatalf("good file: res %+v, err %v, want clean resume", res, err)
+	}
+	if st := res.Monitor.Stats(); st.Ingested != 3 {
+		t.Fatalf("resumed stats %+v, want 3 ingested", st)
+	}
+
+	// Conflicting caller options are a misconfiguration, not corruption:
+	// Open must fail loudly instead of cold-starting over good state.
+	if _, err := Open(good, Options{Window: time.Hour}); err == nil {
+		t.Fatal("conflicting options must be a hard error")
+	}
+}

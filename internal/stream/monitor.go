@@ -229,6 +229,26 @@ func (m *Monitor) Stats() Stats { return m.eng.Stats() }
 // ASNs returns the ASes with live state, sorted.
 func (m *Monitor) ASNs() []bgp.ASN { return m.eng.ASNs() }
 
+// Newest returns the newest observation timestamp, or false before any
+// observation.
+func (m *Monitor) Newest() (time.Time, bool) { return m.eng.Newest() }
+
+// BinWidth returns the monitor's effective aggregation bin width: after
+// defaults, and after snapshot adoption on a resumed monitor.
+func (m *Monitor) BinWidth() time.Duration { return m.eng.Options().BinWidth }
+
+// NewestBin returns the bin key covering the newest observation — the
+// cheap change detector daemon layers use to gate checkpointing and
+// read-snapshot refresh on bin boundaries.
+func (m *Monitor) NewestBin() (int64, bool) { return m.eng.NewestBin() }
+
+// WindowBounds returns the current analysis window: [start,
+// start+nBins*BinWidth) ending at the bin boundary just past the newest
+// observation. ok is false before any observation.
+func (m *Monitor) WindowBounds() (start time.Time, nBins int, ok bool) {
+	return m.eng.WindowBounds()
+}
+
 // Verdict is the outcome of an online classification.
 type Verdict struct {
 	ASN bgp.ASN

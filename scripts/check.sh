@@ -86,6 +86,17 @@ go test -race -count=1 -run 'ResumeAfterInterrupt' ./cmd/lmmonitor/
 stage "go test -race -count=1 (telemetry stress)"
 go test -race -count=1 ./internal/telemetry/
 
+# Daemon soak: the short-mode deterministic soak drives simulated days
+# through the lmserved lifecycle — reloads mid-window, target churn, a
+# SIGHUP storm, kill-and-resume — and pins the final verdicts
+# bit-identical to a batch replay of the same observations. Uncached and
+# under -race: goroutine scheduling is the variable under test. The
+# watchdog and API suites ride along for the same reason.
+stage "serve-soak (deterministic daemon soak under -race)"
+go test -race -count=1 -short -run 'TestServeSoakEquivalence' ./internal/serve/
+go test -race -count=1 -run 'TestAPIConcurrentReadsDuringIngest' ./internal/serve/
+go test -race -count=1 -run 'TestRunWatchdogForcesFlush|TestRunInterruptFlushesOnce' ./cmd/lmmonitor/
+
 # Fuzz smoke: short coverage-guided runs over the two ingest decoders —
 # the Atlas JSON parser (which also differential-tests the zero-alloc
 # parser against encoding/json) and the binary wire codec's round-trip
